@@ -1,0 +1,28 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every file in this directory regenerates one table or figure of the paper
+(see DESIGN.md's experiment index).  Each benchmark both *times* the
+underlying computation (pytest-benchmark) and *checks the shape* of the
+paper's claim with assertions, printing the regenerated rows.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print one regenerated paper table."""
+    print()
+    print("=" * 76)
+    print(title)
+    print("=" * 76)
+    widths = [max(len(str(h)), 12) for h in header]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+

@@ -1,0 +1,72 @@
+"""E18 (ablation) — Fixed-ratio vs. variable-ratio conversion (§7.1).
+
+The paper proposes variable-ratio SC converters as the general power
+interface ("load voltage conversion, regulation and switching for all the
+loads").  The ablation quantifies what the extra gears buy: efficiency of
+the 2.1 V rail across the full input swing a storage buffer can present —
+mild for the NiMH plateau, brutal for supercap storage (2.8 V down to
+1.1 V).
+
+Shape checks: the bank holds its worst-case efficiency tens of points
+above the fixed doubler across the swing; on NiMH's narrow plateau the
+fixed ratio is already near-optimal (the paper's actual design choice).
+"""
+
+from conftest import print_table
+
+from repro.power import VariableRatioConverter, design_for_load
+from repro.power.topologies import doubler
+
+
+def sweep():
+    bank = VariableRatioConverter(
+        "bank", v_target=2.1, i_load_max=1e-3, v_in_range=(1.1, 2.8)
+    )
+    fixed = design_for_load(
+        "fixed-1:2", doubler(), v_in=1.1, v_target=2.1, i_load_max=1e-3,
+        tau_gate=1.5e-12, alpha_bottom_plate=0.0015,
+    )
+    inputs = [1.1, 1.2, 1.3, 1.45, 1.6, 1.8, 2.0, 2.2, 2.4, 2.6, 2.8]
+    rows = []
+    for v_in in inputs:
+        gear = bank.select_gear(v_in)
+        rows.append(
+            (v_in,
+             bank.solve(v_in, 500e-6).efficiency,
+             gear.ratio,
+             fixed.solve(v_in, 500e-6).efficiency)
+        )
+    return bank, rows
+
+
+def test_e18_variable_ratio(benchmark):
+    bank, rows = benchmark(sweep)
+
+    print_table(
+        "E18: 2.1 V rail efficiency vs input voltage (500 uA load)",
+        ["v_in", "variable-ratio", "gear M", "fixed 1:2"],
+        [
+            (f"{v:.2f} V", f"{eta_vr:.1%}", f"{gear:.2f}", f"{eta_fx:.1%}")
+            for v, eta_vr, gear, eta_fx in rows
+        ],
+    )
+    print(f"\ngear ratios available: "
+          f"{[round(r, 2) for r in bank.available_ratios()]}")
+
+    nimh_window = [r for r in rows if 1.1 <= r[0] <= 1.3]
+    full_swing = rows
+    # Shape: across the full supercap-style swing, the bank's worst case
+    # crushes the fixed ratio's.
+    worst_bank = min(eta for _, eta, _, _ in full_swing)
+    worst_fixed = min(eta for _, _, _, eta in full_swing)
+    assert worst_bank > worst_fixed + 0.25
+    # Shape: the bank's efficiency never falls below ~65 % anywhere.
+    assert worst_bank > 0.65
+    # Shape: on the NiMH plateau the fixed doubler is within a few points
+    # of the bank — which is why the PicoCube's simple 1:2 was the right
+    # call for its chosen battery.
+    for v, eta_vr, _, eta_fx in nimh_window:
+        assert eta_vr - eta_fx < 0.05
+    # Shape: gear selection is monotone non-increasing in input voltage.
+    gears = [gear for _, _, gear, _ in rows]
+    assert gears == sorted(gears, reverse=True)

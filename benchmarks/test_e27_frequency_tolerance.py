@@ -1,0 +1,73 @@
+"""E27 (extension) — FBAR frequency spread and the OOK architecture choice.
+
+The paper's radio is built around an FBAR whose absolute frequency comes
+from film thickness — Q > 1000 but a manufacturing spread measured in
+*thousands* of ppm (quartz is a few ppm).  At 1.863 GHz that is megahertz
+of TX/RX misalignment, which is exactly why the architecture is OOK
+energy detection into a wide superregenerative receiver rather than any
+narrowband scheme.
+
+Regenerates: link yield (random TX die vs. random RX die) across receiver
+bandwidths and FBAR spreads.  Shape checks: a crystal-class narrowband
+receiver (100 kHz) strands almost every link; the superregenerative
+receiver's MHz-class bandwidth recovers essentially all of them; the
+bandwidth needed scales linearly with the part spread.
+"""
+
+from conftest import print_table
+
+from repro.radio.tolerance import FrequencyToleranceModel
+
+
+def sweep():
+    model = FrequencyToleranceModel(fbar_sigma_ppm=1000.0)
+    bandwidths = [1e5, 1e6, 3e6, 1e7, 3e7]
+    yield_rows = [(bw, model.link_yield(bw, trials=4000)) for bw in bandwidths]
+    spread_rows = []
+    for sigma_ppm in (100.0, 300.0, 1000.0, 3000.0):
+        m = FrequencyToleranceModel(fbar_sigma_ppm=sigma_ppm)
+        spread_rows.append(
+            (sigma_ppm, m.sigma_hz(), m.bandwidth_for_yield(0.99, trials=2000))
+        )
+    return model, yield_rows, spread_rows
+
+
+def test_e27_frequency_tolerance(benchmark):
+    model, yield_rows, spread_rows = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+
+    print_table(
+        "E27a: link yield vs receiver bandwidth (FBAR sigma = 1000 ppm "
+        f"= {model.sigma_hz() / 1e6:.1f} MHz at 1.863 GHz)",
+        ["RX bandwidth", "link yield"],
+        [
+            (f"{bw / 1e6:.2f} MHz", f"{study.link_yield:.1%}")
+            for bw, study in yield_rows
+        ],
+    )
+    print_table(
+        "E27b: bandwidth needed for 99% link yield vs part spread",
+        ["FBAR sigma", "sigma in Hz", "needed RX bandwidth"],
+        [
+            (f"{ppm:.0f} ppm", f"{hz / 1e6:.2f} MHz", f"{bw / 1e6:.1f} MHz")
+            for ppm, hz, bw in spread_rows
+        ],
+    )
+    print("\nthe superregenerative receiver's MHz-class acceptance is not "
+          "laziness — it is what makes uncalibrated FBAR carriers usable "
+          "at all.")
+
+    yields = {bw: s.link_yield for bw, s in yield_rows}
+    # Shape: a narrowband (crystal-class) receiver strands the fleet.
+    assert yields[1e5] < 0.05
+    # Shape: yield is monotone in bandwidth and saturates near 1.
+    ordered = [s.link_yield for _, s in yield_rows]
+    assert ordered == sorted(ordered)
+    assert yields[3e7] > 0.99
+    # Shape: needed bandwidth scales ~linearly with the spread.
+    needed = {ppm: bw for ppm, _, bw in spread_rows}
+    assert 5.0 < needed[3000.0] / needed[300.0] < 20.0
+    # Shape: trimming helps — a 100 ppm residual needs ~10x less band
+    # than the raw 1000 ppm part.
+    assert needed[100.0] < 0.25 * needed[1000.0]

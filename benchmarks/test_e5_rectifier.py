@@ -1,0 +1,86 @@
+"""E5 — Synchronous rectifier vs. diode bridge (paper §7.1).
+
+Claims: "The synchronous rectifier achieves 96 % of the efficiency of an
+ideal rectifier at 450 uW input"; the transistors "eliminate the large
+forward drops of a diode rectifier."
+
+Regenerates: delivered power and efficiency-relative-to-ideal vs. input
+power for the diode bridge, the synchronous rectifier, and the ideal
+reference, on the shaker's pulsed waveform.  Shape checks: >=93 % of
+ideal near 450 uW; the diode bridge collapses at harvester amplitudes;
+sync efficiency degrades at very light inputs (comparator bias floor).
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.power import (
+    DiodeBridgeRectifier,
+    IdealRectifier,
+    SynchronousRectifier,
+    relative_to_ideal,
+)
+
+V_BATT = 1.35
+
+
+def sine_wave(amplitude, freq=100.0, cycles=20):
+    t = np.linspace(0.0, cycles / freq, cycles * 2000 + 1)
+    return t, amplitude * np.sin(2.0 * np.pi * freq * t)
+
+
+def sweep():
+    sync = SynchronousRectifier()
+    bridge = DiodeBridgeRectifier()
+    ideal = IdealRectifier()
+    rows = []
+    for amplitude in (1.5, 1.6, 1.8, 2.0, 2.3, 2.7, 3.2):
+        t, v = sine_wave(amplitude)
+        kwargs = dict(r_source=500.0, v_dc=V_BATT)
+        r_sync = sync.rectify(t, v, **kwargs)
+        r_bridge = bridge.rectify(t, v, **kwargs)
+        r_ideal = ideal.rectify(t, v, **kwargs)
+        rows.append((amplitude, r_ideal, r_bridge, r_sync))
+    return rows
+
+
+def test_e5_rectifier(benchmark):
+    rows = benchmark(sweep)
+
+    print_table(
+        "E5: rectifier comparison into a 1.35 V cell "
+        "(paper: sync = 96% of ideal @ 450 uW)",
+        ["EMF peak", "P_in(sync)", "ideal out", "bridge out", "sync out",
+         "bridge/ideal", "sync/ideal"],
+        [
+            (f"{amp:.1f} V",
+             f"{r_sync.power_in * 1e6:.0f} uW",
+             f"{r_ideal.power_out * 1e6:.0f} uW",
+             f"{r_bridge.power_out * 1e6:.0f} uW",
+             f"{r_sync.power_out * 1e6:.0f} uW",
+             f"{relative_to_ideal(r_bridge):.1%}",
+             f"{relative_to_ideal(r_sync):.1%}")
+            for amp, r_ideal, r_bridge, r_sync in rows
+        ],
+    )
+
+    # Shape: near 450 uW input the sync rectifier is ~96 % of ideal.
+    near_450 = [
+        r_sync for _, _, _, r_sync in rows
+        if 300e-6 <= r_sync.power_in <= 600e-6
+    ]
+    assert near_450, "sweep must cross the 450 uW operating point"
+    assert all(relative_to_ideal(r) > 0.93 for r in near_450)
+
+    # Shape: the diode bridge is crushed at these amplitudes — it delivers
+    # under half of ideal everywhere in the sweep, and nothing at all
+    # below its two forward drops.
+    for amp, _, r_bridge, _ in [(a, i, b, s) for a, i, b, s in rows]:
+        assert relative_to_ideal(r_bridge) < 0.5
+    lowest = rows[0]
+    assert lowest[2].power_out == 0.0  # 1.5 V peak < 1.35 + 2*0.35
+
+    # Shape: sync's relative efficiency improves with input power
+    # (constant comparator bias amortises).
+    ratios = [relative_to_ideal(r_sync) for _, _, _, r_sync in rows]
+    assert ratios[-1] > ratios[0]

@@ -1,0 +1,73 @@
+"""Simulator performance benchmarks (not a paper experiment).
+
+The reproduction's usefulness rests on the event-exact simulator being
+fast enough for week-scale studies.  These benchmarks put numbers on it:
+raw engine throughput, node-simulation speedup over real time, and the
+cost of the detailed (profile-fidelity) transmit model.
+"""
+
+from repro.core import NodeConfig, PicoCube
+from repro.sim import Engine
+
+
+def test_perf_engine_event_throughput(benchmark):
+    """Raw engine: schedule + fire a million-ish events."""
+
+    def run():
+        engine = Engine()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 50_000:
+                engine.schedule(1.0, tick)
+
+        engine.schedule(1.0, tick)
+        engine.run_to_completion()
+        return count
+
+    count = benchmark(run)
+    assert count == 50_000
+
+
+def test_perf_node_hour_fast_fidelity(benchmark):
+    """One simulated hour of the TPMS node (600 cycles)."""
+
+    def run():
+        node = PicoCube(NodeConfig(fidelity="fast"))
+        node.run(3600.0)
+        return node
+
+    node = benchmark(run)
+    assert node.cycles_completed == 599
+    # Speedup over real time: the mean must be far under an hour.  The
+    # stats object reports seconds per call.
+    assert benchmark.stats.stats.mean < 5.0  # >700x real time
+
+
+def test_perf_node_hour_profile_fidelity(benchmark):
+    """The detailed per-bit-run transmit model costs a small constant."""
+
+    def run():
+        node = PicoCube(NodeConfig(fidelity="profile"))
+        node.run(3600.0)
+        return node
+
+    node = benchmark(run)
+    assert node.cycles_completed == 599
+    assert benchmark.stats.stats.mean < 10.0
+
+
+def test_perf_simulated_day(benchmark):
+    """A full simulated day: 14 400 wake cycles."""
+
+    def run():
+        node = PicoCube(NodeConfig(fidelity="fast"))
+        node.run(86400.0)
+        return node
+
+    node = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert node.cycles_completed == 14399
+    # A day in well under a minute of wall time.
+    assert benchmark.stats.stats.mean < 60.0

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Energy-neutrality design study: which ambient sources sustain a PicoCube?
+
+The paper's premise (§1): sensors must outlive their batteries, so the
+node must live on harvested energy.  This study measures the node's real
+average draw, then walks the harvester catalogue — tire rotation at
+various speeds, a bicycle wheel, an electromagnetic shaker, indoor solar,
+and a MEMS vibration source (which needs the §7.1 variable-ratio boost
+rectifier to be usable at all).
+"""
+
+from repro.core import build_tpms_node
+from repro.harvest import (
+    BicycleWheelHarvester,
+    ElectromagneticShaker,
+    ResonantVibrationHarvester,
+    SolarCladding,
+    TireHarvester,
+)
+from repro.power import BoostRectifier, SynchronousRectifier, relative_to_ideal
+
+
+def harvested_power(harvester, rectifier, v_batt: float) -> float:
+    """Average delivered power through a given rectifier, watts."""
+    waveform = harvester.waveform(harvester.characteristic_duration())
+    result = rectifier.rectify(waveform.t, waveform.v_oc, waveform.r_source, v_batt)
+    return result.power_out
+
+
+def main() -> None:
+    # Step 1: what does the node actually need?
+    node = build_tpms_node()
+    node.run(3600.0)
+    demand = node.average_power()
+    v_batt = node.battery.open_circuit_voltage()
+    print(f"node demand (measured over 1 h): {demand * 1e6:.2f} uW "
+          f"at {v_batt:.2f} V battery\n")
+
+    sync = SynchronousRectifier()
+    boost = BoostRectifier()
+    rows = []
+
+    tire = TireHarvester()
+    for speed in (20.0, 30.0, 50.0, 80.0, 120.0):
+        tire.set_speed_kmh(speed)
+        rows.append((f"tire @ {speed:.0f} km/h", harvested_power(tire, sync, v_batt)))
+
+    bike = BicycleWheelHarvester()
+    for speed in (10.0, 15.0, 25.0):
+        bike.set_speed_kmh(speed)
+        rows.append((f"bicycle @ {speed:.0f} km/h", harvested_power(bike, sync, v_batt)))
+
+    shaker = ElectromagneticShaker()
+    rows.append(("hand shaker @ 5 Hz", harvested_power(shaker, sync, v_batt)))
+
+    solar = SolarCladding()
+    for name, lux in (("office light", 1.0), ("bright indoor", 5.0),
+                      ("overcast sky", 100.0)):
+        solar.set_irradiance(lux)
+        rows.append((f"solar, {name}", solar.output_power()))
+
+    vib = ResonantVibrationHarvester()
+    rows.append(
+        ("MEMS vibration + plain rectifier", harvested_power(vib, sync, v_batt))
+    )
+    rows.append(
+        ("MEMS vibration + boost rectifier", harvested_power(vib, boost, v_batt))
+    )
+
+    print(f"{'source':<36} {'harvest':>12} {'vs demand':>10}  verdict")
+    print("-" * 74)
+    for name, power in rows:
+        ratio = power / demand if demand > 0 else 0.0
+        verdict = "SUSTAINS" if ratio >= 1.0 else "starves"
+        print(f"{name:<36} {power * 1e6:9.2f} uW {ratio:9.1f}x  {verdict}")
+
+    # The boost-rectifier punchline (paper section 7.1).
+    wf = vib.waveform(vib.characteristic_duration())
+    print(
+        f"\nMEMS source EMF amplitude: {vib.emf_amplitude():.2f} V — below the "
+        f"{v_batt:.2f} V battery, so plain rectification delivers nothing."
+    )
+    fraction = boost.matched_power_fraction(wf.t, wf.v_oc, wf.r_source, v_batt)
+    print(
+        f"the variable-ratio SC (boost) rectifier of paper section 7.1 "
+        f"extracts {fraction:.0%} of the true matched-source maximum"
+    )
+
+
+if __name__ == "__main__":
+    main()

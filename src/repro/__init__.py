@@ -1,0 +1,56 @@
+"""PicoCube reproduction: a 1 cm^3 energy-harvesting sensor node, simulated.
+
+Reproduction of Chee et al., "PicoCube: A 1cm3 Sensor Node Powered by
+Harvested Energy" (DAC 2008).  The package models the complete node —
+power train (COTS and integrated switched-capacitor IC), NiMH storage,
+harvesters, MSP430, FBAR OOK radio, sensors, packaging — on an exact
+discrete-event electrical simulator.
+
+Quick start::
+
+    from repro import build_tpms_node, audit_node
+
+    node = build_tpms_node()
+    node.run(3600.0)
+    print(audit_node(node).format_table())
+"""
+
+from . import board, core, harvest, mcu, net, power, radio, sensors, sim, storage
+from . import errors, units
+from .core import (
+    NodeConfig,
+    PicoCube,
+    audit_node,
+    build_demo_bench,
+    build_motion_node,
+    build_tpms_deployment,
+    build_tpms_node,
+    capture_cycle_profile,
+    render_ascii,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NodeConfig",
+    "PicoCube",
+    "audit_node",
+    "board",
+    "build_demo_bench",
+    "build_motion_node",
+    "build_tpms_deployment",
+    "build_tpms_node",
+    "capture_cycle_profile",
+    "core",
+    "errors",
+    "harvest",
+    "mcu",
+    "net",
+    "power",
+    "radio",
+    "render_ascii",
+    "sensors",
+    "sim",
+    "storage",
+    "units",
+]

@@ -1,0 +1,106 @@
+"""Elastomeric connector model (paper §4.1, Fig 3).
+
+"One class of these devices look like a rectangular beam with alternating
+strips of conducting and insulating material. ...  We chose connectors
+with 0.05 mm gold wires on a 0.1 mm pitch.  The standard pad size is
+1.2x1.0 mm, allowing multiple wire contacts per pad."
+
+The model answers the questions the designers had to: how many wires land
+on a pad (contact redundancy), what the per-pad resistance and current
+capacity are, and how much vertical/horizontal room the connector needs
+(deflection and deformation design rules that drove the ring-and-tube
+package).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError, GeometryError
+
+
+class ElastomericConnector:
+    """A zebra-strip connector beam."""
+
+    def __init__(
+        self,
+        name: str = "zebra",
+        wire_diameter_m: float = 0.05e-3,
+        pitch_m: float = 0.1e-3,
+        beam_height_m: float = 2.5e-3,
+        beam_thickness_m: float = 0.6e-3,
+        wire_resistance_ohm: float = 0.15,
+        wire_current_limit_a: float = 0.1,
+        compression_fraction: float = 0.10,
+        deformation_fraction: float = 0.15,
+    ) -> None:
+        if wire_diameter_m <= 0.0 or pitch_m <= 0.0:
+            raise ConfigurationError(f"{name}: wire and pitch must be positive")
+        if wire_diameter_m >= pitch_m:
+            raise ConfigurationError(f"{name}: wires would touch (pitch <= diameter)")
+        if not 0.0 < compression_fraction < 0.5:
+            raise ConfigurationError(f"{name}: implausible compression fraction")
+        if not 0.0 <= deformation_fraction < 0.5:
+            raise ConfigurationError(f"{name}: implausible deformation fraction")
+        self.name = name
+        self.wire_diameter_m = wire_diameter_m
+        self.pitch_m = pitch_m
+        self.beam_height_m = beam_height_m
+        self.beam_thickness_m = beam_thickness_m
+        self.wire_resistance_ohm = wire_resistance_ohm
+        self.wire_current_limit_a = wire_current_limit_a
+        self.compression_fraction = compression_fraction
+        self.deformation_fraction = deformation_fraction
+
+    # -- contact geometry -------------------------------------------------------
+
+    def wires_per_pad(self, pad_length_m: float) -> int:
+        """Gold wires landing on a pad of a given length along the beam."""
+        if pad_length_m <= 0.0:
+            raise ConfigurationError(f"{self.name}: pad length must be positive")
+        # Epsilon guards float noise (1.2 mm / 0.1 mm must count 12 wires).
+        return max(int(math.floor(pad_length_m / self.pitch_m + 1e-9)), 0)
+
+    def pad_resistance(self, pad_length_m: float) -> float:
+        """Parallel resistance of all wires on a pad, ohms."""
+        wires = self.wires_per_pad(pad_length_m)
+        if wires == 0:
+            raise GeometryError(
+                f"{self.name}: pad of {pad_length_m * 1e3:.2f} mm catches no wires"
+            )
+        return self.wire_resistance_ohm / wires
+
+    def pad_current_capacity(self, pad_length_m: float) -> float:
+        """Total current a pad can carry, amperes."""
+        return self.wires_per_pad(pad_length_m) * self.wire_current_limit_a
+
+    # -- mechanical design rules ----------------------------------------------------
+
+    def compressed_height(self) -> float:
+        """Beam height at nominal compression — sets the deflection stop."""
+        return self.beam_height_m * (1.0 - self.compression_fraction)
+
+    def deformed_thickness(self) -> float:
+        """Beam thickness when compressed (it deforms, does not compress)."""
+        return self.beam_thickness_m * (1.0 + self.deformation_fraction)
+
+    def channel_width_required(self) -> float:
+        """Horizontal channel the package must provide, metres."""
+        return self.deformed_thickness()
+
+    def check_compression(self, gap_m: float) -> None:
+        """Validate a board-to-board gap against the design rules.
+
+        The gap must compress the beam (electrical contact needs pressure)
+        but not beyond the allowed range (over-compression damages it).
+        """
+        if gap_m >= self.beam_height_m:
+            raise GeometryError(
+                f"{self.name}: gap {gap_m * 1e3:.2f} mm leaves the "
+                f"{self.beam_height_m * 1e3:.2f} mm beam uncompressed"
+            )
+        if gap_m < self.compressed_height():
+            raise GeometryError(
+                f"{self.name}: gap {gap_m * 1e3:.2f} mm over-compresses the beam "
+                f"(minimum {self.compressed_height() * 1e3:.2f} mm)"
+            )

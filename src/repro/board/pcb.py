@@ -1,0 +1,173 @@
+"""PCB model: pad ring, placement area, components (paper §4.1, Fig 4).
+
+"Our approach was to place a ring of pads along all four edges of a
+board, on both sides.  All boards in the stack have the same pattern ...
+There are 18 pads per side, electrically connected to the opposite side of
+the PCB with vias.  We devoted the outer 1.4 mm of each board to
+connectors and inner housing, leaving a 7.2x7.2 mm area for component
+placement and routing."
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError, GeometryError
+
+BOARD_SIDE_M = 10.0e-3
+"""The cube's footprint: 1 cm on a side."""
+
+CONNECTOR_MARGIN_M = 1.4e-3
+"""Outer ring devoted to connectors and inner housing."""
+
+PADS_TOTAL = 18
+"""Bus width: 18 pads around the ring on each face of every board."""
+
+PAD_LENGTH_M = 1.2e-3
+PAD_WIDTH_M = 1.0e-3
+
+
+@dataclasses.dataclass(frozen=True)
+class Component:
+    """A placed part: footprint, height, which face it sits on."""
+
+    name: str
+    width_m: float
+    depth_m: float
+    height_m: float
+    face: str = "top"
+
+    def __post_init__(self) -> None:
+        if min(self.width_m, self.depth_m, self.height_m) <= 0.0:
+            raise ConfigurationError(f"{self.name}: dimensions must be positive")
+        if self.face not in ("top", "bottom"):
+            raise ConfigurationError(f"{self.name}: face must be top or bottom")
+
+    @property
+    def area_m2(self) -> float:
+        """Footprint area, m^2."""
+        return self.width_m * self.depth_m
+
+
+class PadRing:
+    """The 18-pad bus ring shared by every board (paper Fig 4).
+
+    Pads run around all four edges on both faces, mirrored top/bottom and
+    via-connected, so a signal's pads line up vertically through the
+    elastomers across the whole stack.
+    """
+
+    def __init__(
+        self,
+        pads_total: int = PADS_TOTAL,
+        pad_length_m: float = PAD_LENGTH_M,
+        pad_width_m: float = PAD_WIDTH_M,
+        board_side_m: float = BOARD_SIDE_M,
+    ) -> None:
+        if pads_total < 1:
+            raise ConfigurationError("need at least one pad")
+        # Pads lie lengthwise along the edges; corners are reserved for the
+        # housing, leaving four usable edge runs.
+        usable_edge = board_side_m - 2.0 * CONNECTOR_MARGIN_M
+        if pads_total * pad_length_m > 4.0 * usable_edge:
+            raise GeometryError(
+                f"{pads_total} pads of {pad_length_m * 1e3:.1f} mm do not fit "
+                f"the {4.0 * usable_edge * 1e3:.1f} mm of usable ring perimeter"
+            )
+        self.pads_total = pads_total
+        self.pad_length_m = pad_length_m
+        self.pad_width_m = pad_width_m
+        self.board_side_m = board_side_m
+        self.usable_edge_m = usable_edge
+        self._signals: Dict[int, str] = {}
+
+    def assign(self, pad_index: int, signal: str) -> None:
+        """Bind a bus signal to a pad position (controller board decides)."""
+        if not 0 <= pad_index < self.pads_total:
+            raise GeometryError(
+                f"pad index {pad_index} outside 0..{self.pads_total - 1}"
+            )
+        if pad_index in self._signals:
+            raise GeometryError(
+                f"pad {pad_index} already carries {self._signals[pad_index]!r}"
+            )
+        self._signals[pad_index] = signal
+
+    def signal_at(self, pad_index: int) -> Optional[str]:
+        """Signal on a pad, or None if unassigned."""
+        return self._signals.get(pad_index)
+
+    def assignments(self) -> Dict[int, str]:
+        """The full pad map."""
+        return dict(self._signals)
+
+    def free_pads(self) -> int:
+        """Unassigned pad count — the headroom the paper worried about."""
+        return self.pads_total - len(self._signals)
+
+
+class Pcb:
+    """One board of the stack with placement accounting."""
+
+    def __init__(
+        self,
+        name: str,
+        thickness_m: float = 0.8e-3,
+        metal_layers: int = 2,
+        board_side_m: float = BOARD_SIDE_M,
+        pad_ring: PadRing = None,
+    ) -> None:
+        if thickness_m <= 0.0:
+            raise ConfigurationError(f"{name}: thickness must be positive")
+        if metal_layers < 1:
+            raise ConfigurationError(f"{name}: need at least one metal layer")
+        self.name = name
+        self.thickness_m = thickness_m
+        self.metal_layers = metal_layers
+        self.board_side_m = board_side_m
+        self.pad_ring = pad_ring or PadRing(board_side_m=board_side_m)
+        self.components: List[Component] = []
+
+    @property
+    def placement_side_m(self) -> float:
+        """Inner placement square side (7.2 mm for the 10 mm board)."""
+        return self.board_side_m - 2.0 * CONNECTOR_MARGIN_M
+
+    @property
+    def placement_area_m2(self) -> float:
+        """Placement area per face, m^2."""
+        return self.placement_side_m**2
+
+    def place(self, component: Component, utilisation_limit: float = 0.9) -> None:
+        """Add a component, enforcing footprint and area budgets.
+
+        ``utilisation_limit`` leaves room for routing — the paper's boards
+        were mostly consumed by COTS parts and traces.
+        """
+        if component.width_m > self.placement_side_m or (
+            component.depth_m > self.placement_side_m
+        ):
+            raise GeometryError(
+                f"{self.name}: {component.name} "
+                f"({component.width_m * 1e3:.1f} x {component.depth_m * 1e3:.1f} mm) "
+                f"exceeds the {self.placement_side_m * 1e3:.1f} mm placement square"
+            )
+        used = self.face_utilisation(component.face) * self.placement_area_m2
+        if used + component.area_m2 > utilisation_limit * self.placement_area_m2:
+            raise GeometryError(
+                f"{self.name}: no room for {component.name} on {component.face} "
+                f"({(used + component.area_m2) / self.placement_area_m2:.0%} "
+                f"> {utilisation_limit:.0%})"
+            )
+        self.components.append(component)
+
+    def face_utilisation(self, face: str) -> float:
+        """Fraction of a face's placement area already occupied."""
+        used = sum(c.area_m2 for c in self.components if c.face == face)
+        return used / self.placement_area_m2
+
+    def max_component_height(self, face: str) -> float:
+        """Tallest part on a face — what sets inter-board spacing."""
+        heights = [c.height_m for c in self.components if c.face == face]
+        return max(heights) if heights else 0.0

@@ -1,0 +1,215 @@
+"""The cube assembly: five boards, rings, elastomers, tube, lid (Fig 2, 5).
+
+"The PicoCube uses five vertically stacked PCBs connected by a bus and
+enclosed in a plastic case. ...  Vertical separation between boards is
+limited by the height of components. ...  This 'tube and ring' packaging
+technique provides structural strength, connector housing, board placement
+control, and an outer protective barrier." (paper §4, §4.2)
+
+The model is a constraint system: every inter-board gap must clear the
+tallest components protruding into it and put its elastomeric connector
+segment into the legal compression window; the whole stack (base, boards,
+gaps, lid) must fit the 1 cm outer dimension.  E15 exercises exactly the
+failures the real designers dodged — a too-tall part, an over-compressed
+connector, an 11 mm stack.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from ..errors import ConfigurationError, GeometryError
+from .elastomer import ElastomericConnector
+from .pcb import Component, Pcb
+
+COMPONENT_CLEARANCE_M = 0.05e-3
+"""Minimum air between a component and the board above it."""
+
+PAPER_RING_OD_M = 8.0e-3
+PAPER_RING_WALL_M = 0.4e-3
+PAPER_RING_HEIGHT_M = 2.33e-3
+"""The SLA spacer ring of paper §4.2 (used at the tallest gap)."""
+
+
+@dataclasses.dataclass
+class StackEntry:
+    """One board, the gap (spacer-ring height) above it, and its connector."""
+
+    pcb: Pcb
+    gap_above_m: float  # 0.0 for the topmost board
+    connector: Optional[ElastomericConnector] = None
+
+
+class CubeStack:
+    """The vertical assembly inside the square tube."""
+
+    def __init__(
+        self,
+        name: str = "picocube",
+        base_m: float = 0.4e-3,
+        lid_m: float = 0.4e-3,
+        side_limit_m: float = 10.0e-3,
+        height_limit_m: float = 10.0e-3,
+        connector: Optional[ElastomericConnector] = None,
+    ) -> None:
+        if base_m < 0.0 or lid_m < 0.0:
+            raise ConfigurationError(f"{name}: base and lid must be >= 0")
+        if side_limit_m <= 0.0 or height_limit_m <= 0.0:
+            raise ConfigurationError(f"{name}: limits must be positive")
+        self.name = name
+        self.base_m = base_m
+        self.lid_m = lid_m
+        self.side_limit_m = side_limit_m
+        self.height_limit_m = height_limit_m
+        self.connector = connector
+        self.entries: List[StackEntry] = []
+
+    # -- construction -----------------------------------------------------------
+
+    def add_board(
+        self,
+        pcb: Pcb,
+        gap_above_m: float = 0.0,
+        connector: Optional[ElastomericConnector] = None,
+    ) -> None:
+        """Append a board (bottom-up) with the spacer gap above it.
+
+        ``connector`` is the elastomer segment cut for this gap; defaults
+        to the stack-wide connector.
+        """
+        if gap_above_m < 0.0:
+            raise ConfigurationError(f"{self.name}: gap must be >= 0")
+        if pcb.board_side_m > self.side_limit_m + 1e-12:
+            raise GeometryError(
+                f"{self.name}: board {pcb.name} side "
+                f"{pcb.board_side_m * 1e3:.1f} mm exceeds the tube's "
+                f"{self.side_limit_m * 1e3:.1f} mm"
+            )
+        self.entries.append(
+            StackEntry(pcb=pcb, gap_above_m=gap_above_m, connector=connector)
+        )
+
+    # -- geometry ---------------------------------------------------------------------
+
+    def total_height(self) -> float:
+        """Base + boards + gaps + lid, metres."""
+        boards = sum(entry.pcb.thickness_m for entry in self.entries)
+        gaps = sum(entry.gap_above_m for entry in self.entries)
+        return self.base_m + boards + gaps + self.lid_m
+
+    def volume_m3(self) -> float:
+        """Outer envelope volume (square tube assumed)."""
+        return self.side_limit_m**2 * self.total_height()
+
+    def volume_cm3(self) -> float:
+        """Envelope volume in cubic centimetres — the headline number."""
+        return self.volume_m3() * 1e6
+
+    def is_one_cubic_centimetre(self) -> bool:
+        """Does the assembly honour the 1 cm^3 claim?"""
+        return (
+            self.total_height() <= self.height_limit_m + 1e-12
+            and self.volume_cm3() <= 1.0 + 1e-9
+        )
+
+    # -- validation -------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check every packaging constraint; raises :class:`GeometryError`.
+
+        * each gap clears the components of the boards facing it;
+        * each gap holds its elastomer segment in the legal compression
+          window (if a connector is configured);
+        * the total height fits the tube.
+        """
+        if len(self.entries) < 2:
+            raise GeometryError(f"{self.name}: a stack needs at least two boards")
+        if self.entries[-1].gap_above_m != 0.0:
+            raise GeometryError(
+                f"{self.name}: topmost board must not have a gap above it"
+            )
+        for lower, upper in zip(self.entries, self.entries[1:]):
+            gap = lower.gap_above_m
+            protrusion = max(
+                lower.pcb.max_component_height("top"),
+                upper.pcb.max_component_height("bottom"),
+            )
+            if protrusion + COMPONENT_CLEARANCE_M > gap:
+                raise GeometryError(
+                    f"{self.name}: gap of {gap * 1e3:.2f} mm above "
+                    f"{lower.pcb.name} cannot clear "
+                    f"{protrusion * 1e3:.2f} mm components"
+                )
+            connector = lower.connector or self.connector
+            if connector is not None:
+                connector.check_compression(gap)
+        height = self.total_height()
+        if height > self.height_limit_m + 1e-12:
+            raise GeometryError(
+                f"{self.name}: stack of {height * 1e3:.2f} mm exceeds the "
+                f"{self.height_limit_m * 1e3:.1f} mm tube"
+            )
+
+    def board(self, name: str) -> Pcb:
+        """Find a board by name."""
+        for entry in self.entries:
+            if entry.pcb.name == name:
+                return entry.pcb
+        raise GeometryError(f"{self.name}: no board named {name!r}")
+
+
+def gap_matched_connector(gap_m: float, compression: float = 0.08) -> ElastomericConnector:
+    """Cut an elastomer segment whose free height compresses into ``gap_m``."""
+    if gap_m <= 0.0:
+        raise ConfigurationError("gap must be positive")
+    return ElastomericConnector(
+        beam_height_m=gap_m / (1.0 - compression),
+        compression_fraction=compression + 0.02,  # window straddles nominal
+    )
+
+
+def standard_picocube() -> CubeStack:
+    """The five-board PicoCube as described in §4, populated and validated.
+
+    Board order (bottom-up): storage (battery epoxied beneath it, rectifier
+    and filter caps on top), controller (MSP430), sensor (SP12 dies),
+    switch (power gates + radio supplies), radio (four-layer, antenna on
+    top metal — no components above it).
+    """
+    stack = CubeStack(lid_m=0.3e-3)
+
+    storage = Pcb("storage", thickness_m=0.7e-3)
+    storage.place(Component("nimh-cell", 7.0e-3, 5.5e-3, 1.85e-3, face="bottom"))
+    storage.place(Component("bridge-rectifier", 2.0e-3, 2.0e-3, 0.7e-3))
+    storage.place(Component("filter-caps", 3.2e-3, 1.6e-3, 0.65e-3))
+
+    controller = Pcb("controller", thickness_m=0.7e-3)
+    controller.place(Component("msp430-f1222", 6.4e-3, 6.4e-3, 0.8e-3))
+
+    sensor = Pcb("sensor", thickness_m=0.7e-3)
+    sensor.place(Component("sp12-analog-die", 2.5e-3, 2.5e-3, 0.4e-3))
+    sensor.place(Component("sp12-digital-die", 2.5e-3, 2.5e-3, 0.4e-3))
+    sensor.place(Component("charge-pump-tps60313", 3.0e-3, 3.0e-3, 0.8e-3))
+
+    switch = Pcb("switch", thickness_m=0.7e-3)
+    switch.place(Component("ldo-lt3020", 3.0e-3, 3.0e-3, 0.65e-3))
+    switch.place(Component("analog-switches", 2.0e-3, 2.0e-3, 0.6e-3))
+    switch.place(Component("shunt-regulator", 1.6e-3, 1.6e-3, 0.6e-3))
+
+    radio = Pcb("radio", thickness_m=1.65e-3, metal_layers=4)  # 64.8 mils
+    radio.place(Component("fbar-die", 1.0e-3, 1.0e-3, 0.3e-3, face="bottom"))
+    radio.place(Component("tx-die", 1.2e-3, 0.8e-3, 0.25e-3, face="bottom"))
+    radio.place(Component("level-shifters", 2.0e-3, 1.5e-3, 0.5e-3, face="bottom"))
+    radio.place(Component("matching-network", 2.0e-3, 1.0e-3, 0.5e-3, face="bottom"))
+
+    # Bottom-up, with the battery pocket folded into the base standoff: the
+    # cell hangs below the storage board (silver epoxy, paper §4.5).
+    stack.base_m = 1.95e-3
+    gaps = [0.75e-3, 0.9e-3, 0.9e-3, 0.75e-3]
+    boards = [storage, controller, sensor, switch]
+    for pcb, gap in zip(boards, gaps):
+        stack.add_board(pcb, gap_above_m=gap, connector=gap_matched_connector(gap))
+    stack.add_board(radio, gap_above_m=0.0)
+    stack.validate()
+    return stack

@@ -1,0 +1,188 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A bench-in-a-box for the reproduction: run the headline measurements
+without writing any code.
+
+Commands
+--------
+
+``audit``
+    Run a node for a while and print the energy audit (the 6 uW table).
+``profile``
+    Capture and render one on-cycle power profile (Fig 6).
+``deploy``
+    Simulate days of the tire deployment with harvesting.
+``link``
+    Print the link budget vs. distance table.
+``ic``
+    Print the power IC's standing-current ledger and converter summary.
+``stack``
+    Validate the 1 cm^3 packaging and print the dimension ledger.
+``report``
+    Run a node and emit a markdown run report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from .core import audit_node, build_tpms_node, format_lifetime, projected_lifetime_s
+
+    node = build_tpms_node(power_train=args.train)
+    node.environment.set_speed_kmh(args.speed)
+    node.run(args.hours * 3600.0)
+    audit = audit_node(node)
+    print(audit.format_table())
+    print(f"packets transmitted {len(node.packets_sent)}")
+    print(
+        "battery-only lifetime at this draw: "
+        f"{format_lifetime(projected_lifetime_s(node))}"
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .core import NodeConfig, PicoCube, capture_cycle_profile, render_ascii
+
+    node = PicoCube(NodeConfig(power_train=args.train, fidelity="profile"))
+    node.run(13.0)
+    print(render_ascii(capture_cycle_profile(node)))
+    return 0
+
+
+def _cmd_deploy(args: argparse.Namespace) -> int:
+    from .core import build_tpms_deployment
+    from .net import decode_tpms_reading
+    from .units import DAY
+
+    deployment = build_tpms_deployment(power_train=args.train)
+    node = deployment.node
+    print(f"{'day':>4} {'soc':>7} {'avg power':>12} {'packets':>9}")
+    for day in range(args.days):
+        node.run(DAY)
+        print(
+            f"{day + 1:>4} {node.battery.soc:7.3f} "
+            f"{node.average_power() * 1e6:9.2f} uW {len(node.packets_sent):>9}"
+        )
+    last = decode_tpms_reading(node.packets_sent[-1])
+    print("last reading:", {k: round(v, 2) for k, v in last.items()})
+    verdict = "ENERGY NEUTRAL" if node.battery.soc >= 0.6 else "DRAINING"
+    print(f"verdict: {verdict} (soc {node.battery.soc:.3f} vs start 0.600)")
+    return 0
+
+
+def _cmd_link(args: argparse.Namespace) -> int:
+    from .radio import PatchAntenna, RadioLink
+
+    link = RadioLink(PatchAntenna())
+    print(f"{'distance':>10} {'path loss':>11} {'received':>10} {'margin':>8}")
+    distance = 0.25
+    while distance <= args.max_distance:
+        budget = link.budget(distance)
+        print(
+            f"{distance:8.2f} m {budget.path_loss_db:9.1f} dB "
+            f"{budget.received_dbm:7.1f} dBm {budget.margin_db:+7.1f} dB"
+        )
+        distance *= 2.0
+    print(f"max range: {link.max_range_m():.2f} m")
+    return 0
+
+
+def _cmd_ic(args: argparse.Namespace) -> int:
+    from .power import ConverterIC
+
+    ic = ConverterIC()
+    print("standing-current ledger (paper: ~6.5 uA):")
+    for name, amps in ic.quiescent_breakdown().items():
+        print(f"  {name:<22} {amps * 1e9:10.1f} nA")
+    print(f"  {'TOTAL':<22} {ic.quiescent_current() * 1e6:10.2f} uA")
+    print(f"1:2 efficiency @ 500 uA: "
+          f"{ic.mcu_converter.efficiency_at(1.2, 500e-6):.1%}")
+    ic.enable_radio_rail()
+    print(f"radio chain efficiency @ 4 mA: "
+          f"{ic.radio_rail(1.2, 4e-3).efficiency:.1%}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .core import build_tpms_node, run_report
+
+    node = build_tpms_node(power_train=args.train)
+    node.run(args.hours * 3600.0)
+    print(run_report(node, title=args.title))
+    return 0
+
+
+def _cmd_stack(args: argparse.Namespace) -> int:
+    from .board import standard_picocube
+
+    cube = standard_picocube()
+    print(f"{'board':<12} {'thickness':>10} {'gap above':>10}")
+    for entry in cube.entries:
+        print(
+            f"{entry.pcb.name:<12} {entry.pcb.thickness_m * 1e3:8.2f} mm "
+            f"{entry.gap_above_m * 1e3:8.2f} mm"
+        )
+    print(f"base {cube.base_m * 1e3:.2f} mm (battery pocket), "
+          f"lid {cube.lid_m * 1e3:.2f} mm")
+    print(f"total {cube.total_height() * 1e3:.2f} mm -> "
+          f"{cube.volume_cm3():.3f} cm^3; "
+          f"one cubic centimetre: {cube.is_one_cubic_centimetre()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PicoCube (DAC 2008) reproduction bench",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    audit = sub.add_parser("audit", help="energy audit of a node run")
+    audit.add_argument("--hours", type=float, default=1.0)
+    audit.add_argument("--train", choices=("cots", "ic"), default="cots")
+    audit.add_argument("--speed", type=float, default=60.0,
+                       help="vehicle speed, km/h")
+    audit.set_defaults(handler=_cmd_audit)
+
+    profile = sub.add_parser("profile", help="one on-cycle power profile")
+    profile.add_argument("--train", choices=("cots", "ic"), default="cots")
+    profile.set_defaults(handler=_cmd_profile)
+
+    deploy = sub.add_parser("deploy", help="tire deployment with harvesting")
+    deploy.add_argument("--days", type=int, default=3)
+    deploy.add_argument("--train", choices=("cots", "ic"), default="cots")
+    deploy.set_defaults(handler=_cmd_deploy)
+
+    link = sub.add_parser("link", help="link budget vs distance")
+    link.add_argument("--max-distance", type=float, default=8.0)
+    link.set_defaults(handler=_cmd_link)
+
+    ic = sub.add_parser("ic", help="power IC summary")
+    ic.set_defaults(handler=_cmd_ic)
+
+    stack = sub.add_parser("stack", help="packaging ledger")
+    stack.set_defaults(handler=_cmd_stack)
+
+    report = sub.add_parser("report", help="markdown run report")
+    report.add_argument("--hours", type=float, default=1.0)
+    report.add_argument("--train", choices=("cots", "ic"), default="cots")
+    report.add_argument("--title", default=None)
+    report.set_defaults(handler=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

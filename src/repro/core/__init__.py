@@ -1,0 +1,61 @@
+"""The PicoCube core: node composition, power trains, audits, profiles."""
+
+from .builder import (
+    TpmsDeployment,
+    build_demo_bench,
+    build_motion_node,
+    build_tpms_deployment,
+    build_tpms_node,
+)
+from .config import NodeConfig
+from .energy_audit import (
+    EnergyAudit,
+    audit_node,
+    format_lifetime,
+    is_energy_neutral,
+    projected_lifetime_s,
+)
+from .node import PicoCube
+from .power_train import (
+    CotsPowerTrain,
+    IcPowerTrain,
+    LoadState,
+    PowerTrain,
+    TrainSolution,
+    V_RADIO_DIGITAL,
+    V_RADIO_RF,
+    make_power_train,
+)
+from .policy import AdaptiveScheduler, DEFAULT_LADDER, PolicyRung
+from .profiles import CycleProfile, capture_cycle_profile, render_ascii
+from .reporting import run_report
+
+__all__ = [
+    "AdaptiveScheduler",
+    "DEFAULT_LADDER",
+    "PolicyRung",
+    "CotsPowerTrain",
+    "CycleProfile",
+    "EnergyAudit",
+    "IcPowerTrain",
+    "LoadState",
+    "NodeConfig",
+    "PicoCube",
+    "PowerTrain",
+    "TpmsDeployment",
+    "TrainSolution",
+    "V_RADIO_DIGITAL",
+    "V_RADIO_RF",
+    "audit_node",
+    "build_demo_bench",
+    "build_motion_node",
+    "build_tpms_deployment",
+    "build_tpms_node",
+    "capture_cycle_profile",
+    "format_lifetime",
+    "is_energy_neutral",
+    "make_power_train",
+    "projected_lifetime_s",
+    "render_ascii",
+    "run_report",
+]

@@ -1,0 +1,149 @@
+"""Prebuilt node variants and full scenarios.
+
+These are the entry points the examples and benchmarks use: one call
+builds a node with its environment, harvester, and receive bench wired
+together the way the paper's two demonstrations were.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional
+
+from ..harvest import DriveCycle, TireHarvester, commuter_cycle
+from ..net import DemoReceiverChain
+from ..power import SynchronousRectifier
+from ..radio import PatchAntenna, RadioLink, SuperregenerativeReceiver
+from ..sensors import MotionEnvironment, MotionInterval, TireEnvironment
+from .config import NodeConfig
+from .node import PicoCube
+
+
+def build_tpms_node(
+    power_train: str = "cots",
+    fidelity: str = "fast",
+    node_id: int = 1,
+    environment: Optional[TireEnvironment] = None,
+) -> PicoCube:
+    """The paper's flagship: the tire-pressure node."""
+    config = NodeConfig(
+        node_id=node_id,
+        power_train=power_train,
+        sensor_kind="tpms",
+        fidelity=fidelity,
+    )
+    return PicoCube(config, environment=environment)
+
+
+def build_motion_node(
+    intervals: Optional[List[MotionInterval]] = None,
+    power_train: str = "cots",
+    fidelity: str = "fast",
+    node_id: int = 2,
+) -> PicoCube:
+    """The retreat-demo node: accelerometer in motion-threshold mode."""
+    environment = MotionEnvironment(
+        intervals or [MotionInterval(10.0, 20.0), MotionInterval(40.0, 45.0)]
+    )
+    config = NodeConfig(
+        node_id=node_id,
+        power_train=power_train,
+        sensor_kind="accel",
+        fidelity=fidelity,
+    )
+    return PicoCube(config, environment=environment)
+
+
+def build_demo_bench() -> DemoReceiverChain:
+    """The §6 receive bench: patch-antenna link into the superregen RX."""
+    link = RadioLink(PatchAntenna())
+    return DemoReceiverChain(link, SuperregenerativeReceiver())
+
+
+@dataclasses.dataclass
+class TpmsDeployment:
+    """A tire node riding a drive cycle with its rim harvester.
+
+    Glues together what the node core deliberately keeps separate: the
+    drive cycle sets both the tire environment's speed and the harvester's
+    output, and the charging current function feeds the node's trickle
+    charger.
+    """
+
+    node: PicoCube
+    cycle: DriveCycle
+    harvester: TireHarvester
+    rectifier: SynchronousRectifier
+
+    def charging_current_fn(self) -> Callable[[float], float]:
+        """Average rectified charging current vs. simulation time.
+
+        Precomputed per drive-cycle segment (the waveform integration is
+        too slow to run per harvest tick).
+        """
+        v_batt = self.node.battery.open_circuit_voltage()
+        segment_currents = []
+        for segment in self.cycle.segments:
+            self.harvester.set_speed_kmh(segment.speed_kmh)
+            if segment.speed_kmh <= 0.0:
+                segment_currents.append((segment.duration_s, 0.0))
+                continue
+            waveform = self.harvester.waveform(
+                self.harvester.characteristic_duration()
+            )
+            result = self.rectifier.rectify(
+                waveform.t, waveform.v_oc, waveform.r_source, v_batt
+            )
+            segment_currents.append(
+                (segment.duration_s, result.charge_out / result.duration)
+            )
+
+        total = self.cycle.duration
+
+        def current_at(time_s: float) -> float:
+            t = time_s % total
+            for duration, current in segment_currents:
+                if t < duration:
+                    return current
+                t -= duration
+            return segment_currents[-1][1]
+
+        return current_at
+
+    def environment_speed_updater(self) -> Callable[[], None]:
+        """A periodic task keeping the tire environment's speed current."""
+
+        def update() -> None:
+            self.node.environment.set_speed_kmh(
+                self.cycle.speed_at(self.node.engine.now)
+            )
+
+        return update
+
+
+def build_tpms_deployment(
+    power_train: str = "cots",
+    cycle: Optional[DriveCycle] = None,
+    harvest_update_s: float = 60.0,
+) -> TpmsDeployment:
+    """A complete tire deployment: node + harvester + drive cycle, armed."""
+    node = build_tpms_node(power_train=power_train)
+    deployment = TpmsDeployment(
+        node=node,
+        cycle=cycle or commuter_cycle(),
+        harvester=TireHarvester(),
+        rectifier=SynchronousRectifier(),
+    )
+    node.attach_charger(
+        deployment.charging_current_fn(), update_period_s=harvest_update_s
+    )
+    from ..sim import PeriodicTimer
+
+    speed_timer = PeriodicTimer(
+        node.engine,
+        harvest_update_s,
+        deployment.environment_speed_updater(),
+        name="speed-update",
+    )
+    speed_timer.start(first_delay=0.0)
+    return deployment

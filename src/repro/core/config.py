@@ -1,0 +1,65 @@
+"""Node configuration."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import ConfigurationError
+
+POWER_TRAINS = ("cots", "ic")
+SENSOR_KINDS = ("tpms", "accel")
+FIDELITIES = ("fast", "profile")
+LINE_CODES = ("nrz", "manchester")
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeConfig:
+    """Build options for a :class:`~repro.core.node.PicoCube`.
+
+    ``fidelity`` selects transmit modelling: ``"fast"`` charges the RF
+    rail at the packet's average mark density in one block (exact energy,
+    few events — right for multi-hour simulations), ``"profile"`` drives
+    the rail bit-run by bit-run (exact waveform — right for regenerating
+    the Fig 6 power profile).
+
+    ``line_code`` selects the over-the-air bit coding: ``"nrz"`` sends the
+    frame bits raw (what the paper's numbers imply), ``"manchester"``
+    chips each bit into a 01/10 pair — guaranteed transitions for the
+    energy-detecting receiver's threshold tracking, at 2x air time.
+    """
+
+    node_id: int = 1
+    power_train: str = "cots"
+    sensor_kind: str = "tpms"
+    bit_rate: float = 330e3
+    fidelity: str = "fast"
+    line_code: str = "nrz"
+    mcu_clock_hz: float = 1e6
+    pa_sequencing_delay_s: float = 100e-6
+    motion_sample_interval_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.node_id <= 255:
+            raise ConfigurationError(f"node_id {self.node_id} outside one byte")
+        if self.power_train not in POWER_TRAINS:
+            raise ConfigurationError(
+                f"power_train must be one of {POWER_TRAINS}, got "
+                f"{self.power_train!r}"
+            )
+        if self.sensor_kind not in SENSOR_KINDS:
+            raise ConfigurationError(
+                f"sensor_kind must be one of {SENSOR_KINDS}, got "
+                f"{self.sensor_kind!r}"
+            )
+        if self.fidelity not in FIDELITIES:
+            raise ConfigurationError(
+                f"fidelity must be one of {FIDELITIES}, got {self.fidelity!r}"
+            )
+        if self.line_code not in LINE_CODES:
+            raise ConfigurationError(
+                f"line_code must be one of {LINE_CODES}, got {self.line_code!r}"
+            )
+        if self.bit_rate <= 0.0 or self.mcu_clock_hz <= 0.0:
+            raise ConfigurationError("bit_rate and mcu_clock_hz must be positive")
+        if self.pa_sequencing_delay_s < 0.0 or self.motion_sample_interval_s <= 0.0:
+            raise ConfigurationError("invalid timing configuration")

@@ -1,0 +1,398 @@
+"""The PicoCube node: everything composed and simulated.
+
+The functional spec (paper §3): "take a sample, process the data,
+packetize the data, and transmit the packet".  This class wires the
+substrates together — battery, power train, MSP430, sensor, FBAR radio,
+packetizer — on the discrete-event engine, with exact energy accounting on
+named recorder channels:
+
+``mcu``, ``sensor``, ``radio-digital``, ``radio-rf``
+    power delivered *to* each subsystem at its rail;
+``power-management``
+    everything else the battery supplies — conversion losses and
+    quiescent currents, the term the paper says dominates the 6 uW.
+
+Between events nothing changes, so battery charge is integrated lazily
+and the whole tire-pressure day simulates in milliseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..errors import ConfigurationError, ElectricalError, SimulationError
+from ..mcu import Mode, Msp430, SpiMaster, motion_firmware, tpms_firmware
+from ..net.packet import PicoPacket, encode_accel_reading, encode_tpms_reading
+from ..net.framing import manchester_encode, ones_fraction
+from ..radio import FbarTransmitter, OokModulator
+from ..sensors import MotionEnvironment, MotionInterval, Sca3000, Sp12Tpms, TireEnvironment
+from ..sim import Engine, PeriodicTimer, PowerRecorder, spawn
+from ..storage import NiMHCell, TrickleCharger
+from .config import NodeConfig
+from .power_train import LoadState, make_power_train
+
+
+class PicoCube:
+    """A simulated 1 cm^3 sensor node."""
+
+    def __init__(
+        self,
+        config: NodeConfig = None,
+        engine: Engine = None,
+        environment=None,
+        battery: NiMHCell = None,
+    ) -> None:
+        self.config = config or NodeConfig()
+        self.engine = engine or Engine()
+        self.recorder = PowerRecorder(self.engine)
+        if battery is None:
+            # Mid-charge by default: the NiMH plateau (~1.25 V OCV) is the
+            # operating point the paper's measurements correspond to.
+            battery = NiMHCell()
+            battery.set_soc(0.6)
+        self.battery = battery
+        self.train = make_power_train(self.config.power_train)
+        self.mcu = Msp430(clock_hz=self.config.mcu_clock_hz)
+        self.spi = SpiMaster()
+        self.tx = FbarTransmitter()
+        self.modulator = OokModulator(self.config.bit_rate)
+        if self.config.sensor_kind == "tpms":
+            self.sensor = Sp12Tpms()
+            self.environment = environment or TireEnvironment()
+            self.firmware, self.cycle_sequence = tpms_firmware()
+        else:
+            self.sensor = Sca3000()
+            self.environment = environment or MotionEnvironment(
+                [MotionInterval(10.0, 20.0)]
+            )
+            self.firmware, self.cycle_sequence = motion_firmware()
+        # Mutable load currents by subsystem (at the ambient temperature).
+        self.battery.set_temperature(self.ambient_c())
+        self._i_mcu = self.mcu.current(
+            self.train.mcu_rail_voltage(), temperature_c=self.ambient_c()
+        )
+        self._i_sensor = self.sensor.i_sleep
+        self._i_radio_digital = 0.0
+        self._i_radio_rf = 0.0
+        # Battery integration state.
+        self._i_battery = 0.0
+        self._last_battery_sync = self.engine.now
+        self._last_env_update = self.engine.now
+        # Bookkeeping.
+        self.cycles_completed = 0
+        self.packets_sent: List[PicoPacket] = []
+        self.cycle_start_times: List[float] = []
+        self.browned_out = False
+        self.brownout_time: Optional[float] = None
+        self._cycle_active = False
+        self._started = False
+        self._wake_timer: Optional[PeriodicTimer] = None
+        self._charger: Optional[TrickleCharger] = None
+        self._charge_current_fn: Optional[Callable[[float], float]] = None
+        self._charge_timer: Optional[PeriodicTimer] = None
+        self._seq = 0
+        self.mcu.enter(Mode.LPM3)
+        self._update()
+
+    # ------------------------------------------------------------------ state
+
+    def ambient_c(self) -> float:
+        """Ambient temperature from the environment (25 C if unmodelled)."""
+        return getattr(self.environment, "temperature_c", 25.0)
+
+    def _set_mcu(self, mode: Mode) -> None:
+        self.mcu.enter(mode)
+        self._i_mcu = self.mcu.current(
+            self.train.mcu_rail_voltage(), temperature_c=self.ambient_c()
+        )
+        self._update()
+
+    def _set_sensor_measuring(self, measuring: bool) -> None:
+        if measuring:
+            self.sensor.begin_sample()
+        else:
+            self.sensor.end_sample()
+        self._i_sensor = self.sensor.current()
+        self._update()
+
+    def _set_radio_digital(self, current: float) -> None:
+        self._i_radio_digital = current
+        self._update()
+
+    def _set_radio_rf(self, current: float) -> None:
+        self._i_radio_rf = current
+        self._update()
+
+    def _loads(self) -> LoadState:
+        return LoadState(
+            i_mcu=self._i_mcu,
+            i_sensor=self._i_sensor,
+            i_radio_digital=self._i_radio_digital,
+            i_radio_rf=self._i_radio_rf,
+        )
+
+    def _update(self) -> None:
+        """Re-solve the electrical state after any load change."""
+        self._sync_battery()
+        if self.browned_out:
+            return
+        loads = self._loads()
+        # One fixed-point pass on the terminal voltage: NiMH sag is small
+        # at microamp-to-milliamp loads, so one iteration converges.
+        try:
+            v_batt = self.battery.terminal_voltage(self._i_battery)
+            solution = self.train.solve(v_batt, loads)
+            solution = self.train.solve(
+                self.battery.terminal_voltage(solution.i_battery), loads
+            )
+        except ElectricalError:
+            # The sagging battery fell out of the power train's operating
+            # range: the management circuitry drops out — a brownout.
+            self._enter_brownout(self.engine.now)
+            return
+        self._i_battery = solution.i_battery
+        for channel, watts in solution.subsystem_power.items():
+            self.recorder.record(channel, watts)
+        self.recorder.record("power-management", solution.p_management)
+
+    def _sync_battery(self) -> None:
+        """Integrate the battery drain since the last event.
+
+        If the stored charge cannot cover the interval, the node browns
+        out at the moment the battery empties: all loads drop, the wake
+        source stops, and the node stays dead (a real PicoCube has no
+        supervised restart — it would need a power-on-reset event this
+        model does not grant it).
+        """
+        now = self.engine.now
+        dt = now - self._last_battery_sync
+        if dt > 0.0 and not self.browned_out:
+            needed = self._i_battery * dt
+            if needed >= self.battery.charge and self._i_battery > 0.0:
+                dead_at = (
+                    self._last_battery_sync
+                    + self.battery.charge / self._i_battery
+                )
+                self.battery.discharge(self.battery.charge)
+                self._enter_brownout(min(dead_at, now))
+            else:
+                self.battery.discharge(needed)
+                self.battery.apply_self_discharge(dt)
+        self._last_battery_sync = now
+
+    def _enter_brownout(self, time_of_death: float) -> None:
+        self.browned_out = True
+        self.brownout_time = time_of_death
+        self._i_battery = 0.0
+        if self._wake_timer is not None:
+            self._wake_timer.stop()
+        for channel in ("mcu", "sensor", "radio-digital", "radio-rf",
+                        "power-management"):
+            if self.recorder.has_channel(channel):
+                self.recorder.record(channel, 0.0)
+
+    def _advance_environment(self) -> None:
+        now = self.engine.now
+        dt = now - self._last_env_update
+        if dt > 0.0 and hasattr(self.environment, "advance"):
+            self.environment.advance(dt)
+        self._last_env_update = now
+        # Thermal coupling: the cell and the MCU sleep current live at the
+        # environment's temperature (the tire warms everything with it).
+        ambient = self.ambient_c()
+        self.battery.set_temperature(ambient)
+        if not self._cycle_active:
+            self._i_mcu = self.mcu.current(
+                self.train.mcu_rail_voltage(), temperature_c=ambient
+            )
+
+    # ------------------------------------------------------------------ control
+
+    def start(self) -> None:
+        """Arm the node's wake source (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        if self.config.sensor_kind == "tpms":
+            self._wake_timer = PeriodicTimer(
+                self.engine,
+                self.sensor.wake_period_s,
+                self._on_wake_interrupt,
+                name="tpms-timer",
+            )
+            self._wake_timer.start()
+        else:
+            self._schedule_motion_wakeups()
+
+    def _schedule_motion_wakeups(self) -> None:
+        """Pre-compute the motion-threshold interrupts from the script."""
+        horizon = max(
+            (iv.end_s for iv in self.environment.intervals), default=0.0
+        )
+        for t in self.sensor.interrupt_times(self.environment, horizon + 1.0):
+            if t >= self.engine.now:
+                self.engine.schedule_at(t, self._on_motion_interrupt,
+                                        name="motion-irq")
+
+    def run(self, duration: float) -> None:
+        """Start (if needed) and simulate ``duration`` seconds."""
+        if duration < 0.0:
+            raise SimulationError("duration must be >= 0")
+        self.start()
+        self.engine.run_until(self.engine.now + duration)
+        self._sync_battery()
+        self._update_recorder_tail()
+
+    def _update_recorder_tail(self) -> None:
+        """Touch channels so traces extend to the current time."""
+        for name in self.recorder.channel_names():
+            trace = self.recorder.channel(name)
+            trace.set(self.engine.now, trace.current)
+
+    # ------------------------------------------------------------------ harvest
+
+    def attach_charger(
+        self,
+        charging_current_fn: Callable[[float], float],
+        update_period_s: float = 60.0,
+    ) -> None:
+        """Feed the battery from a harvester.
+
+        ``charging_current_fn(t)`` returns the average rectified charging
+        current (A) around simulation time ``t``; a periodic task applies
+        it through the C/10 trickle limiter.
+        """
+        if self._charge_timer is not None:
+            raise ConfigurationError("a charger is already attached")
+        self._charger = TrickleCharger(self.battery)
+        self._charge_current_fn = charging_current_fn
+
+        def tick() -> None:
+            self._sync_battery()
+            current = self._charge_current_fn(self.engine.now)
+            self._charger.charge(current, update_period_s)
+
+        self._charge_timer = PeriodicTimer(
+            self.engine, update_period_s, tick, name="harvest-tick"
+        )
+        self._charge_timer.start()
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def _on_wake_interrupt(self) -> None:
+        if self._cycle_active or self.browned_out:
+            return  # previous cycle still running; skip (never happens at 6 s)
+        spawn(self.engine, self._sample_cycle(), name="on-cycle")
+
+    def _on_motion_interrupt(self) -> None:
+        if self._cycle_active or self.browned_out:
+            return
+        spawn(self.engine, self._motion_burst(), name="motion-burst")
+
+    def _path_time(self, name: str) -> float:
+        return self.firmware.path(name).duration(self.mcu)
+
+    def _sample_cycle(self):
+        """One sample/format/transmit cycle (~14 ms for the TPMS node)."""
+        self._cycle_active = True
+        self.cycle_start_times.append(self.engine.now)
+        self._advance_environment()
+        # Wake: LPM3 -> active, housekeeping.
+        self._set_mcu(Mode.ACTIVE)
+        yield self.mcu.wakeup_time_s + self._path_time("wake")
+        # Configure and run the sensor; CPU parks in LPM0 while it settles.
+        first_path = (
+            "sensor-config" if self.config.sensor_kind == "tpms" else "read-xyz"
+        )
+        yield self._path_time(first_path)
+        self._set_sensor_measuring(True)
+        self._set_mcu(Mode.LPM0)
+        yield self.sensor.sample_duration()
+        reading = self.sensor.read(self.environment, self.engine.now)
+        self._set_sensor_measuring(False)
+        self._set_mcu(Mode.ACTIVE)
+        if self.config.sensor_kind == "tpms":
+            self.sensor.set_supply_reading(self.train.mcu_rail_voltage())
+            yield self._path_time("sample-read")
+        # Format + packetize.
+        yield self._path_time("format-packet")
+        packet = self._encode(reading)
+        # Radio setup: digital rail first (clean shunt edge), SPI config.
+        self.train.enable_radio()
+        self._set_radio_digital(self.tx.i_digital)
+        yield self._path_time("radio-setup") + self.spi.transfer_time(16)
+        # PA supply sequencing, oscillator start-up, then bits on the air.
+        yield self.config.pa_sequencing_delay_s
+        yield from self._transmit(packet)
+        # Tear down and sleep.
+        self._set_radio_digital(0.0)
+        self.train.disable_radio()
+        yield self._path_time("transmit-supervise") + self._path_time("sleep-entry")
+        self._set_mcu(Mode.LPM3)
+        self.packets_sent.append(packet)
+        self._seq = (self._seq + 1) & 0xFF
+        self.cycles_completed += 1
+        self._cycle_active = False
+
+    def _motion_burst(self):
+        """Motion demo: stream samples while the cube is being handled."""
+        self._cycle_active = True
+        while self.environment.is_moving(self.engine.now):
+            self._cycle_active = False
+            yield from self._sample_cycle()
+            self._cycle_active = True
+            yield self.config.motion_sample_interval_s
+        self._cycle_active = False
+
+    def _transmit(self, packet: PicoPacket):
+        """Drive the RF rail for one packet, per the configured fidelity."""
+        bits = self._line_code_bits(packet)
+        self._set_radio_rf(self.tx.i_rf_on)  # oscillator start-up
+        yield self.tx.startup_time()
+        if self.config.fidelity == "profile":
+            for duration, power in self.modulator.power_segments(
+                bits, self.tx.p_dc_on
+            ):
+                self._set_radio_rf(power / self.tx.v_rf_rail)
+                yield duration
+        else:
+            average = self.tx.p_dc_on * ones_fraction(bits) / self.tx.v_rf_rail
+            self._set_radio_rf(average)
+            yield self.modulator.duration(len(bits))
+        self._set_radio_rf(0.0)
+
+    def _line_code_bits(self, packet: PicoPacket):
+        """Frame bits after line coding (what actually hits the air)."""
+        bits = packet.to_bits()
+        if self.config.line_code == "manchester":
+            return manchester_encode(bits)
+        return bits
+
+    def _encode(self, reading: dict) -> PicoPacket:
+        if self.config.sensor_kind == "tpms":
+            return encode_tpms_reading(
+                self.config.node_id,
+                self._seq,
+                pressure_psi=reading["pressure_psi"],
+                temperature_c=reading["temperature_c"],
+                acceleration_g=reading["acceleration_g"],
+                supply_v=reading["supply_v"],
+            )
+        return encode_accel_reading(
+            self.config.node_id,
+            self._seq,
+            x_g=reading["accel_x_g"],
+            y_g=reading["accel_y_g"],
+            z_g=reading["accel_z_g"],
+        )
+
+    # ------------------------------------------------------------------ results
+
+    def average_power(self, start: float = None, end: float = None) -> float:
+        """Mean battery-side power over a window (default: whole run), W."""
+        return self.recorder.average_power(start, end)
+
+    @property
+    def battery_current_now(self) -> float:
+        """Present battery draw, amperes."""
+        return self._i_battery

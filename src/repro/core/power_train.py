@@ -1,0 +1,254 @@
+"""Power trains: the two ways the PicoCube turns 1.2 V into three rails.
+
+The node needs (paper §4.3): 2.1-3.6 V always-on for the microcontroller
+and sensor, 1.0 V gated for the radio digital logic, and a quiet 0.65 V
+gated for the radio RF section.
+
+Two implementations:
+
+* :class:`CotsPowerTrain` — the built cube of §4: TPS60313-class charge
+  pump (always on, snooze mode), a GPIO-fed shunt regulator for the 1.0 V
+  rail, and an LT3020-class LDO from the battery for the 0.65 V rail,
+  gated at input and output by solid-state switches.
+* :class:`IcPowerTrain` — the §7.1 converter IC: 1:2 and 3:2
+  switched-capacitor converters plus a post-regulating LDO.  The 1.0 V
+  logic rail keeps the (nearly free) shunt off the microcontroller rail.
+
+Both expose one quasi-static ``solve``: given the battery voltage and the
+load currents of every subsystem, return the battery draw.  Attribution
+convention: subsystem channels record ``v_rail * i_load``; everything else
+the battery delivers is power management — the quantity the paper says
+dominates the 6 uW budget.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Dict
+
+from ..errors import ConfigurationError, ElectricalError
+from ..power import (
+    ConverterIC,
+    ConverterICConfig,
+    LinearRegulator,
+    PowerSwitch,
+    RegulatedChargePump,
+    ShuntRegulator,
+)
+from ..power.base import VoltageRange
+
+V_RADIO_DIGITAL = 1.0
+V_RADIO_RF = 0.65
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadState:
+    """Instantaneous load currents of the node's subsystems, amperes."""
+
+    i_mcu: float = 0.0
+    i_sensor: float = 0.0
+    i_radio_digital: float = 0.0
+    i_radio_rf: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field in dataclasses.fields(self):
+            if getattr(self, field.name) < 0.0:
+                raise ConfigurationError(f"{field.name} must be >= 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class TrainSolution:
+    """Battery-side result of solving the power train."""
+
+    v_battery: float
+    i_battery: float
+    v_mcu_rail: float
+    subsystem_power: Dict[str, float]
+
+    @property
+    def p_battery(self) -> float:
+        """Total power leaving the battery, watts."""
+        return self.v_battery * self.i_battery
+
+    @property
+    def p_management(self) -> float:
+        """Power-management overhead: battery power minus delivered power."""
+        return max(self.p_battery - sum(self.subsystem_power.values()), 0.0)
+
+
+class PowerTrain(abc.ABC):
+    """Common interface of the two power-train implementations."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.radio_enabled = False
+
+    @abc.abstractmethod
+    def solve(self, v_battery: float, loads: LoadState) -> TrainSolution:
+        """Quasi-static battery draw for a load state."""
+
+    @abc.abstractmethod
+    def mcu_rail_voltage(self) -> float:
+        """The always-on logic rail voltage."""
+
+    def enable_radio(self) -> None:
+        """Power up the gated radio supplies (before a transmission)."""
+        self.radio_enabled = True
+
+    def disable_radio(self) -> None:
+        """Gate the radio supplies off (after a transmission)."""
+        self.radio_enabled = False
+
+    def _check_radio_load(self, loads: LoadState) -> None:
+        if not self.radio_enabled and (
+            loads.i_radio_digital > 0.0 or loads.i_radio_rf > 0.0
+        ):
+            raise ElectricalError(
+                f"{self.name}: radio load with its supplies gated off"
+            )
+
+    def _subsystem_power(self, loads: LoadState) -> Dict[str, float]:
+        return {
+            "mcu": self.mcu_rail_voltage() * loads.i_mcu,
+            "sensor": self.mcu_rail_voltage() * loads.i_sensor,
+            "radio-digital": V_RADIO_DIGITAL * loads.i_radio_digital,
+            "radio-rf": V_RADIO_RF * loads.i_radio_rf,
+        }
+
+
+class CotsPowerTrain(PowerTrain):
+    """The as-built COTS power train of paper §4."""
+
+    def __init__(
+        self,
+        v_mcu_rail: float = 2.2,
+        pump_i_snooze: float = 1.5e-6,
+        shunt_r_series: float = 8.2e3,
+        ldo_i_ground: float = 1.2e-6,
+        switch_leak: float = 1e-9,
+    ) -> None:
+        super().__init__("cots-power-train")
+        self.charge_pump = RegulatedChargePump(
+            "tps60313",
+            v_out=v_mcu_rail,
+            gains=(1.5, 2.0),
+            i_quiescent=28e-6,
+            i_snooze=pump_i_snooze,
+            snooze_load_threshold=2e-3,
+            input_range=VoltageRange(0.9, 1.8, owner="tps60313"),
+        )
+        self.shunt = ShuntRegulator(
+            "radio-digital-shunt",
+            v_out=V_RADIO_DIGITAL,
+            r_series=shunt_r_series,
+            i_bias_min=10e-6,
+        )
+        self.ldo = LinearRegulator(
+            "lt3020",
+            v_out=V_RADIO_RF,
+            dropout=0.15,
+            i_ground=ldo_i_ground,
+            i_shutdown=0.0,  # the input switch removes it entirely
+            i_max=10e-3,
+        )
+        self.input_switch = PowerSwitch("ldo-input-switch", i_leak_off=switch_leak)
+        self.output_switch = PowerSwitch("pa-output-switch", i_leak_off=switch_leak)
+
+    def mcu_rail_voltage(self) -> float:
+        return self.charge_pump.v_out
+
+    def enable_radio(self) -> None:
+        # Sequencing per §4.5: PA supply switched at its input first (kill
+        # quiescent), a short time later at its output (clean edge).
+        self.input_switch.close()
+        self.output_switch.close()
+        super().enable_radio()
+
+    def disable_radio(self) -> None:
+        self.output_switch.open()
+        self.input_switch.open()
+        super().disable_radio()
+
+    def solve(self, v_battery: float, loads: LoadState) -> TrainSolution:
+        self._check_radio_load(loads)
+        # The 1.0 V shunt hangs off a GPIO pin of the microcontroller rail;
+        # while enabled it draws its constant series current from that rail.
+        i_shunt_supply = 0.0
+        if self.radio_enabled:
+            shunt_op = self.shunt.solve(self.mcu_rail_voltage(), loads.i_radio_digital)
+            i_shunt_supply = shunt_op.i_in
+        rail_load = loads.i_mcu + loads.i_sensor + i_shunt_supply
+        pump_op = self.charge_pump.solve(v_battery, rail_load)
+        if self.radio_enabled:
+            ldo_op = self.ldo.solve(v_battery, loads.i_radio_rf)
+            i_rf_branch = ldo_op.i_in
+        else:
+            # Open input switch: only its leakage remains on the battery.
+            i_rf_branch = self.input_switch.i_leak_off
+        i_battery = pump_op.i_in + i_rf_branch
+        return TrainSolution(
+            v_battery=v_battery,
+            i_battery=i_battery,
+            v_mcu_rail=self.mcu_rail_voltage(),
+            subsystem_power=self._subsystem_power(loads),
+        )
+
+
+class IcPowerTrain(PowerTrain):
+    """The integrated power train of paper §7.1."""
+
+    def __init__(self, config: ConverterICConfig = None,
+                 shunt_r_series: float = 8.2e3) -> None:
+        super().__init__("ic-power-train")
+        self.ic = ConverterIC(config)
+        self.shunt = ShuntRegulator(
+            "radio-digital-shunt",
+            v_out=V_RADIO_DIGITAL,
+            r_series=shunt_r_series,
+            i_bias_min=10e-6,
+        )
+
+    def mcu_rail_voltage(self) -> float:
+        return self.ic.config.v_mcu_rail
+
+    def enable_radio(self) -> None:
+        self.ic.enable_radio_rail()
+        super().enable_radio()
+
+    def disable_radio(self) -> None:
+        self.ic.disable_radio_rail()
+        super().disable_radio()
+
+    def solve(self, v_battery: float, loads: LoadState) -> TrainSolution:
+        self._check_radio_load(loads)
+        i_shunt_supply = 0.0
+        if self.radio_enabled:
+            shunt_op = self.shunt.solve(self.mcu_rail_voltage(), loads.i_radio_digital)
+            i_shunt_supply = shunt_op.i_in
+        rail_load = loads.i_mcu + loads.i_sensor + i_shunt_supply
+        mcu_op = self.ic.mcu_rail(v_battery, rail_load)
+        radio_op = self.ic.radio_rail(v_battery, loads.i_radio_rf)
+        # Standing currents not inside the converter solves: pad ring and
+        # the reference blocks.
+        standing = (
+            self.ic.config.i_pad_ring_leak
+            + self.ic.current_reference.supply_current()
+            + self.ic.bandgap.average_current()
+        )
+        i_battery = mcu_op.i_in + radio_op.i_in + standing
+        return TrainSolution(
+            v_battery=v_battery,
+            i_battery=i_battery,
+            v_mcu_rail=self.mcu_rail_voltage(),
+            subsystem_power=self._subsystem_power(loads),
+        )
+
+
+def make_power_train(kind: str) -> PowerTrain:
+    """Factory: ``'cots'`` (paper §4) or ``'ic'`` (paper §7.1)."""
+    if kind == "cots":
+        return CotsPowerTrain()
+    if kind == "ic":
+        return IcPowerTrain()
+    raise ConfigurationError(f"unknown power train kind {kind!r}")

@@ -1,0 +1,129 @@
+"""Indoor lighting schedules for solar-clad deployments (paper §1).
+
+"The sensors must live at least as long as the application is in service,
+which can be decades (for example, in a building)" and "under well-lit
+conditions cladding the outside of the node with solar cells would provide
+sufficient energy."
+
+A building sensor's energy income follows the lights: on during working
+hours, off at night and over the weekend.  The schedule model turns that
+into the time-varying irradiance the solar cladding sees, and the design
+question becomes storage sizing: can the cell carry the node through the
+longest dark stretch?
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from ..errors import ConfigurationError
+from ..units import DAY, HOUR
+from .solar import SolarCladding
+
+
+@dataclasses.dataclass(frozen=True)
+class LightingSchedule:
+    """A weekly lights-on pattern.
+
+    ``on_hour``/``off_hour`` bound the lit window on working days;
+    ``workdays`` lists the lit days (0 = Monday).
+    """
+
+    on_hour: float = 8.0
+    off_hour: float = 18.0
+    workdays: Tuple[int, ...] = (0, 1, 2, 3, 4)
+    irradiance_on: float = 1.0     # W/m^2, typical office light
+    irradiance_off: float = 0.02   # emergency lighting / glow
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.on_hour < self.off_hour <= 24.0:
+            raise ConfigurationError("need 0 <= on_hour < off_hour <= 24")
+        if any(not 0 <= d <= 6 for d in self.workdays):
+            raise ConfigurationError("workdays must be 0..6")
+        if self.irradiance_on <= self.irradiance_off:
+            raise ConfigurationError("lights-on must exceed lights-off")
+
+    def is_lit(self, time_s: float) -> bool:
+        """Lights on at a simulation time (t=0 is Monday 00:00)."""
+        if time_s < 0.0:
+            raise ConfigurationError("time must be >= 0")
+        day = int(time_s // DAY) % 7
+        hour = (time_s % DAY) / HOUR
+        return day in self.workdays and self.on_hour <= hour < self.off_hour
+
+    def irradiance_at(self, time_s: float) -> float:
+        """Irradiance on the cube at a simulation time, W/m^2."""
+        return self.irradiance_on if self.is_lit(time_s) else self.irradiance_off
+
+    def lit_fraction(self) -> float:
+        """Average fraction of the week the lights are on."""
+        hours_per_day = self.off_hour - self.on_hour
+        return len(self.workdays) * hours_per_day / (7.0 * 24.0)
+
+    def longest_dark_stretch_s(self) -> float:
+        """The worst gap the storage must bridge (typically the weekend).
+
+        Walks two weeks at minute resolution so a dark run wrapping the
+        week boundary (Friday evening through Monday morning) is measured
+        in full.
+        """
+        step = 60.0
+        longest = current = 0.0
+        for k in range(int(14 * DAY / step)):
+            if self.is_lit(k * step):
+                current = 0.0
+            else:
+                current += step
+                longest = max(longest, current)
+        return longest
+
+
+class BuildingDeployment:
+    """Solar cladding + lighting schedule -> charging-current function."""
+
+    def __init__(
+        self,
+        cladding: SolarCladding = None,
+        schedule: LightingSchedule = None,
+        harvest_efficiency: float = 0.8,
+        v_battery: float = 1.25,
+    ) -> None:
+        if not 0.0 < harvest_efficiency <= 1.0:
+            raise ConfigurationError("harvest efficiency outside (0, 1]")
+        if v_battery <= 0.0:
+            raise ConfigurationError("battery voltage must be positive")
+        self.cladding = cladding or SolarCladding()
+        self.schedule = schedule or LightingSchedule()
+        self.harvest_efficiency = harvest_efficiency
+        self.v_battery = v_battery
+
+    def charging_current_at(self, time_s: float) -> float:
+        """Battery charging current at a simulation time, amperes.
+
+        Photovoltaic output is DC, so it reaches the battery through a
+        simple regulator modeled as a fixed efficiency.
+        """
+        self.cladding.set_irradiance(self.schedule.irradiance_at(time_s))
+        power = self.cladding.output_power() * self.harvest_efficiency
+        return power / self.v_battery
+
+    def average_income_w(self) -> float:
+        """Week-averaged harvested power, watts."""
+        lit = self.schedule.lit_fraction()
+        self.cladding.set_irradiance(self.schedule.irradiance_on)
+        p_on = self.cladding.output_power()
+        self.cladding.set_irradiance(self.schedule.irradiance_off)
+        p_off = self.cladding.output_power()
+        return self.harvest_efficiency * (lit * p_on + (1.0 - lit) * p_off)
+
+    def storage_margin(self, node_power_w: float, battery_energy_j: float) -> float:
+        """Dark-stretch energy need vs. what the battery holds.
+
+        > 1 means the battery bridges the longest dark stretch with room
+        to spare.
+        """
+        if node_power_w <= 0.0 or battery_energy_j <= 0.0:
+            raise ConfigurationError("power and energy must be positive")
+        needed = node_power_w * self.schedule.longest_dark_stretch_s()
+        return battery_energy_j / needed

@@ -1,0 +1,187 @@
+"""Tire-mounted rotational harvester and drive cycles.
+
+The PicoCube's flagship application is tire-pressure monitoring with the
+node mounted on the rim (paper §1): "a substantial amount of mechanical
+mass is required to provide the necessary energy".  A rim-mounted inertial
+harvester is excited once per revolution (the gravity vector sweeps
+through the rotating frame, plus the contact-patch shock), so the
+open-circuit output is a pulse train at the wheel's rotation frequency
+with an EMF that grows with speed.
+
+:class:`DriveCycle` describes a speed-vs-time profile so the
+energy-neutrality experiment (E12) can answer the question that matters:
+does a day of typical driving keep the 15 mAh cell topped up against the
+node's 6 uW draw (plus self-discharge)?
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..units import kmh_to_mps
+from .base import Harvester, SourceWaveform
+from .waveforms import pulse_train
+
+
+class TireHarvester(Harvester):
+    """A rim-mounted once-per-revolution inertial harvester.
+
+    Parameters
+    ----------
+    wheel_radius_m:
+        Rolling radius (passenger car: ~0.3 m).
+    emf_per_rad_per_s:
+        EMF amplitude per unit wheel angular velocity — the
+        electromagnetic coupling, volts per rad/s.
+    ring_frequency_hz / decay_tau:
+        Proof-mass ring-down parameters per excitation.
+    coil_resistance:
+        Source resistance, ohms.
+    """
+
+    def __init__(
+        self,
+        name: str = "tire-harvester",
+        wheel_radius_m: float = 0.30,
+        emf_per_rad_per_s: float = 0.09,
+        ring_frequency_hz: float = 120.0,
+        decay_tau: float = 0.04,
+        coil_resistance: float = 400.0,
+    ) -> None:
+        super().__init__(name, coil_resistance)
+        if wheel_radius_m <= 0.0 or emf_per_rad_per_s <= 0.0:
+            raise ConfigurationError(
+                f"{name}: radius and EMF coupling must be positive"
+            )
+        self.wheel_radius_m = wheel_radius_m
+        self.emf_per_rad_per_s = emf_per_rad_per_s
+        self.ring_frequency_hz = ring_frequency_hz
+        self.decay_tau = decay_tau
+        self.speed_mps = kmh_to_mps(60.0)
+
+    # -- operating point -------------------------------------------------------
+
+    def set_speed_kmh(self, kmh: float) -> None:
+        """Set the vehicle speed for subsequent waveforms."""
+        if kmh < 0.0:
+            raise ConfigurationError(f"{self.name}: speed must be >= 0")
+        self.speed_mps = kmh_to_mps(kmh)
+
+    @property
+    def rotation_hz(self) -> float:
+        """Wheel revolutions per second at the current speed."""
+        return self.speed_mps / (2.0 * math.pi * self.wheel_radius_m)
+
+    @property
+    def angular_velocity(self) -> float:
+        """Wheel angular velocity, rad/s."""
+        return self.speed_mps / self.wheel_radius_m
+
+    @property
+    def peak_emf(self) -> float:
+        """Per-pulse EMF amplitude at the current speed, volts."""
+        return self.emf_per_rad_per_s * self.angular_velocity
+
+    def characteristic_duration(self) -> float:
+        if self.rotation_hz <= 0.0:
+            return 1.0
+        return max(10.0 / self.rotation_hz, 0.5)
+
+    def waveform(self, duration: float, dt: float = 1e-5) -> SourceWaveform:
+        t = self._time_base(duration, dt)
+        if self.rotation_hz <= 0.0:
+            return SourceWaveform(
+                t=t, v_oc=t * 0.0, r_source=self.r_source
+            )
+        v = pulse_train(
+            t,
+            period=1.0 / self.rotation_hz,
+            amplitude=self.peak_emf,
+            ring_frequency=self.ring_frequency_hz,
+            decay_tau=self.decay_tau,
+        )
+        return SourceWaveform(t=t, v_oc=v, r_source=self.r_source)
+
+
+@dataclasses.dataclass(frozen=True)
+class DriveSegment:
+    """A constant-speed stretch of a drive cycle."""
+
+    duration_s: float
+    speed_kmh: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0.0 or self.speed_kmh < 0.0:
+            raise ConfigurationError("segment needs duration > 0 and speed >= 0")
+
+
+class DriveCycle:
+    """A sequence of constant-speed segments, looped if needed."""
+
+    def __init__(self, name: str, segments: Sequence[DriveSegment]) -> None:
+        if not segments:
+            raise ConfigurationError(f"{name}: need at least one segment")
+        self.name = name
+        self.segments: Tuple[DriveSegment, ...] = tuple(segments)
+
+    @property
+    def duration(self) -> float:
+        """Total cycle time, seconds."""
+        return sum(seg.duration_s for seg in self.segments)
+
+    def speed_at(self, time_s: float) -> float:
+        """Speed (km/h) at a time, looping past the cycle's end."""
+        if time_s < 0.0:
+            raise ConfigurationError("time must be >= 0")
+        t = math.fmod(time_s, self.duration)
+        for seg in self.segments:
+            if t < seg.duration_s:
+                return seg.speed_kmh
+            t -= seg.duration_s
+        return self.segments[-1].speed_kmh
+
+    def mean_speed(self) -> float:
+        """Time-weighted mean speed, km/h."""
+        return (
+            sum(seg.duration_s * seg.speed_kmh for seg in self.segments)
+            / self.duration
+        )
+
+    def harvest_profile(
+        self, harvester: TireHarvester, v_dc: float
+    ) -> List[Tuple[float, float]]:
+        """Per-segment average harvested power into a DC sink.
+
+        Returns ``(segment_duration, watts)`` pairs — the input the node
+        simulation integrates for energy neutrality.
+        """
+        profile = []
+        for seg in self.segments:
+            harvester.set_speed_kmh(seg.speed_kmh)
+            if seg.speed_kmh <= 0.0:
+                profile.append((seg.duration_s, 0.0))
+            else:
+                profile.append(
+                    (seg.duration_s, harvester.average_power_into(v_dc))
+                )
+        return profile
+
+
+def commuter_cycle() -> DriveCycle:
+    """A simple commute: city, highway, city, parked overnight-ish."""
+    return DriveCycle(
+        "commuter",
+        [
+            DriveSegment(600.0, 40.0),    # 10 min city
+            DriveSegment(1200.0, 100.0),  # 20 min highway
+            DriveSegment(600.0, 40.0),    # 10 min city
+            DriveSegment(3600.0 * 8, 0.0),  # parked at work
+            DriveSegment(600.0, 40.0),
+            DriveSegment(1200.0, 100.0),
+            DriveSegment(600.0, 40.0),
+            DriveSegment(3600.0 * 12.7, 0.0),  # parked overnight
+        ],
+    )

@@ -1,0 +1,127 @@
+"""Resonant vibration harvester (Roundy/Wright/Rabaey model, refs [3-5]).
+
+The BWRC scavenging work the paper builds on models an inertial harvester
+as a second-order resonator: proof mass ``m`` on a spring tuned to the
+ambient vibration frequency, with mechanical damping ratio ``zeta_m`` and
+electrically-induced damping ``zeta_e`` (the useful part).  Driven at
+resonance by an acceleration amplitude ``A``, the power converted to the
+electrical domain is
+
+.. math::
+
+    P = \\frac{m\\, \\zeta_e\\, A^2}{4\\, \\omega\\, (\\zeta_e + \\zeta_m)^2}
+
+maximised over ``zeta_e`` at ``zeta_e = zeta_m`` where
+``P_max = m A^2 / (16 zeta_m omega)``.  Off resonance the response rolls
+off as a standard second-order resonance.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .base import Harvester, SourceWaveform
+from .waveforms import sine
+
+
+class ResonantVibrationHarvester(Harvester):
+    """A linear resonant inertial harvester driven by ambient vibration."""
+
+    def __init__(
+        self,
+        name: str = "vibration-resonator",
+        proof_mass_kg: float = 1e-3,
+        resonance_hz: float = 120.0,
+        zeta_mechanical: float = 0.015,
+        zeta_electrical: float = 0.015,
+        coil_resistance: float = 800.0,
+    ) -> None:
+        super().__init__(name, coil_resistance)
+        if proof_mass_kg <= 0.0 or resonance_hz <= 0.0:
+            raise ConfigurationError(f"{name}: mass and resonance must be positive")
+        if zeta_mechanical <= 0.0 or zeta_electrical < 0.0:
+            raise ConfigurationError(f"{name}: damping ratios invalid")
+        self.proof_mass_kg = proof_mass_kg
+        self.resonance_hz = resonance_hz
+        self.zeta_mechanical = zeta_mechanical
+        self.zeta_electrical = zeta_electrical
+        # Drive conditions (ambient vibration).
+        self.drive_acceleration = 2.5  # m/s^2, "low level vibrations" [4]
+        self.drive_frequency_hz = resonance_hz
+
+    def set_drive(self, acceleration_mps2: float, frequency_hz: float) -> None:
+        """Set the ambient vibration the harvester sits in."""
+        if acceleration_mps2 < 0.0 or frequency_hz <= 0.0:
+            raise ConfigurationError(f"{self.name}: invalid drive")
+        self.drive_acceleration = acceleration_mps2
+        self.drive_frequency_hz = frequency_hz
+
+    # -- analytic power ----------------------------------------------------------
+
+    def electrical_power_at_resonance(self) -> float:
+        """Converted electrical power when driven exactly at resonance, W."""
+        omega = 2.0 * math.pi * self.resonance_hz
+        zt = self.zeta_electrical + self.zeta_mechanical
+        return (
+            self.proof_mass_kg
+            * self.zeta_electrical
+            * self.drive_acceleration**2
+            / (4.0 * omega * zt**2)
+        )
+
+    def electrical_power(self) -> float:
+        """Converted power at the current (possibly detuned) drive, W."""
+        ratio = self.drive_frequency_hz / self.resonance_hz
+        zt = self.zeta_electrical + self.zeta_mechanical
+        # Second-order transfer magnitude squared, normalised to 1 at
+        # resonance.
+        response = (ratio**2) ** 2 / (
+            (1.0 - ratio**2) ** 2 + (2.0 * zt * ratio) ** 2
+        )
+        response_at_resonance = 1.0 / (2.0 * zt) ** 2
+        return self.electrical_power_at_resonance() * response / response_at_resonance
+
+    @staticmethod
+    def optimal_electrical_damping(zeta_mechanical: float) -> float:
+        """The zeta_e that maximises output: equal to zeta_m."""
+        if zeta_mechanical <= 0.0:
+            raise ConfigurationError("zeta_mechanical must be positive")
+        return zeta_mechanical
+
+    def power_ceiling(self) -> float:
+        """Maximum possible power with optimally-chosen zeta_e, W."""
+        omega = 2.0 * math.pi * self.resonance_hz
+        return self.proof_mass_kg * self.drive_acceleration**2 / (
+            16.0 * self.zeta_mechanical * omega
+        )
+
+    # -- waveform ----------------------------------------------------------------
+
+    def characteristic_duration(self) -> float:
+        return 20.0 / self.drive_frequency_hz
+
+    def emf_amplitude(self) -> float:
+        """Open-circuit EMF amplitude, volts.
+
+        Calibrated so the power available into a matched resistive load
+        equals :meth:`electrical_power`: a sine of amplitude ``V`` with
+        source resistance ``R`` delivers ``V^2 / 8R`` when matched, so
+        ``V = sqrt(8 R P)``.  For MEMS-scale sources this lands well below
+        a volt — too low to rectify directly into a 1.2 V battery, which
+        is exactly why the paper proposes variable-ratio SC rectification
+        (§7.1): see :meth:`requires_boost`.
+        """
+        return math.sqrt(8.0 * self.r_source * max(self.electrical_power(), 0.0))
+
+    def requires_boost(self, v_dc: float) -> bool:
+        """True when a plain rectifier cannot charge a ``v_dc`` buffer."""
+        return self.emf_amplitude() <= v_dc
+
+    def waveform(self, duration: float, dt: float = 1e-5) -> SourceWaveform:
+        """Sinusoidal EMF at the drive frequency, matched-power amplitude."""
+        t = self._time_base(duration, dt)
+        v = sine(t, self.emf_amplitude(), self.drive_frequency_hz)
+        return SourceWaveform(t=t, v_oc=np.asarray(v), r_source=self.r_source)

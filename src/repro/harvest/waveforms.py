@@ -1,0 +1,69 @@
+"""Waveform construction helpers shared by the harvester models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def sine(t: np.ndarray, amplitude: float, frequency: float, phase: float = 0.0):
+    """A plain sinusoid sampled on ``t``."""
+    if frequency <= 0.0:
+        raise ConfigurationError(f"frequency must be positive, got {frequency}")
+    return amplitude * np.sin(2.0 * np.pi * frequency * t + phase)
+
+
+def damped_burst(
+    t: np.ndarray,
+    t0: float,
+    amplitude: float,
+    ring_frequency: float,
+    decay_tau: float,
+) -> np.ndarray:
+    """A decaying sinusoidal burst starting at ``t0``.
+
+    This is the signature of an inertial harvester being struck: the proof
+    mass rings at its natural frequency and the oscillation decays with the
+    combined electrical + mechanical damping time constant.
+    """
+    if ring_frequency <= 0.0 or decay_tau <= 0.0:
+        raise ConfigurationError("ring_frequency and decay_tau must be positive")
+    local = t - t0
+    active = local >= 0.0
+    out = np.zeros_like(t)
+    out[active] = (
+        amplitude
+        * np.exp(-local[active] / decay_tau)
+        * np.sin(2.0 * np.pi * ring_frequency * local[active])
+    )
+    return out
+
+
+def pulse_train(
+    t: np.ndarray,
+    period: float,
+    amplitude: float,
+    ring_frequency: float,
+    decay_tau: float,
+    first_pulse: float = 0.0,
+) -> np.ndarray:
+    """A train of damped bursts every ``period`` seconds.
+
+    The tire and bicycle harvesters produce exactly this: one excitation
+    per wheel revolution.
+    """
+    if period <= 0.0:
+        raise ConfigurationError(f"period must be positive, got {period}")
+    out = np.zeros_like(t)
+    t_end = float(t[-1])
+    pulse_time = first_pulse
+    while pulse_time <= t_end:
+        out += damped_burst(t, pulse_time, amplitude, ring_frequency, decay_tau)
+        pulse_time += period
+    return out
+
+
+def rms(signal: np.ndarray) -> float:
+    """Root-mean-square of a sampled signal."""
+    return float(np.sqrt(np.mean(np.square(signal))))

@@ -1,0 +1,135 @@
+"""Interrupt-driven firmware model.
+
+"Microcontroller code was written in 'C' and is entirely interrupt driven.
+No operating system support was required for this simple application"
+(paper §4.5).  The model mirrors that structure: a
+:class:`FirmwareImage` is a set of named code paths (cycle counts) plus an
+interrupt vector table; the node's lifecycle runs the paths on the MCU
+model, which yields durations and energies.
+
+The cycle counts below were budgeted from the described 14 ms
+sample/format/transmit cycle at a 1 MHz MCLK.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Tuple
+
+from ..errors import ConfigurationError
+from .msp430 import Msp430
+
+
+@dataclasses.dataclass(frozen=True)
+class CodePath:
+    """A straight-line firmware routine measured in CPU cycles."""
+
+    name: str
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ConfigurationError(f"code path {self.name!r}: negative cycles")
+
+    def duration(self, mcu: Msp430) -> float:
+        """Execution time on a given MCU, seconds."""
+        return mcu.cycles_to_seconds(self.cycles)
+
+    def energy(self, mcu: Msp430, v_dd: float) -> float:
+        """Execution energy on a given MCU, joules."""
+        return mcu.execution_energy(v_dd, self.cycles)
+
+
+class FirmwareImage:
+    """Named code paths plus an interrupt vector table."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._paths: Dict[str, CodePath] = {}
+        self._vectors: Dict[str, str] = {}
+
+    def add_path(self, name: str, cycles: int) -> CodePath:
+        """Register a code path."""
+        if name in self._paths:
+            raise ConfigurationError(f"{self.name}: duplicate code path {name!r}")
+        path = CodePath(name, cycles)
+        self._paths[name] = path
+        return path
+
+    def path(self, name: str) -> CodePath:
+        """Look up a registered code path."""
+        if name not in self._paths:
+            raise ConfigurationError(f"{self.name}: unknown code path {name!r}")
+        return self._paths[name]
+
+    def attach_interrupt(self, irq: str, path_name: str) -> None:
+        """Point an interrupt vector at a code path."""
+        self.path(path_name)  # validates existence
+        self._vectors[irq] = path_name
+
+    def isr_for(self, irq: str) -> CodePath:
+        """The handler bound to an interrupt line."""
+        if irq not in self._vectors:
+            raise ConfigurationError(f"{self.name}: no ISR bound to {irq!r}")
+        return self._paths[self._vectors[irq]]
+
+    def interrupts(self) -> List[str]:
+        """Bound interrupt names, sorted."""
+        return sorted(self._vectors)
+
+    def total_cycles(self, path_names: Iterable[str]) -> int:
+        """Sum of cycles over a sequence of paths (one wake cycle)."""
+        return sum(self.path(name).cycles for name in path_names)
+
+    def paths(self) -> List[CodePath]:
+        """All registered paths, in insertion order."""
+        return list(self._paths.values())
+
+
+def tpms_firmware() -> Tuple[FirmwareImage, List[str]]:
+    """The tire-pressure firmware: paths, and the wake-cycle sequence.
+
+    Budget (1 MHz MCLK): wake + sample + format + radio setup + transmit
+    supervision adds up to a few ms of CPU time inside the ~14 ms cycle
+    (most of the 14 ms is sensor settling and radio on-air time).
+    """
+    image = FirmwareImage("tpms-v1")
+    image.add_path("wake", 150)            # LPM3 exit, context, housekeeping
+    image.add_path("sensor-config", 400)   # SPI writes to start conversion
+    image.add_path("sample-read", 900)     # read 4 channels over SPI
+    image.add_path("format-packet", 700)   # scale, pack, CRC
+    image.add_path("radio-setup", 500)     # power sequencing + SPI config
+    image.add_path("transmit-supervise", 300)  # feed bits, watch completion
+    image.add_path("sleep-entry", 100)     # remap pins, enter LPM3
+    image.attach_interrupt("tpms-timer", "wake")
+    sequence = [
+        "wake",
+        "sensor-config",
+        "sample-read",
+        "format-packet",
+        "radio-setup",
+        "transmit-supervise",
+        "sleep-entry",
+    ]
+    return image, sequence
+
+
+def motion_firmware() -> Tuple[FirmwareImage, List[str]]:
+    """The accelerometer-demo firmware (motion-threshold interrupts)."""
+    image = FirmwareImage("motion-demo-v1")
+    image.add_path("wake", 150)
+    image.add_path("read-xyz", 600)        # three axes over SPI
+    image.add_path("format-packet", 500)
+    image.add_path("radio-setup", 500)
+    image.add_path("transmit-supervise", 300)
+    image.add_path("sleep-entry", 100)
+    image.attach_interrupt("motion-threshold", "wake")
+    sequence = [
+        "wake",
+        "read-xyz",
+        "format-packet",
+        "radio-setup",
+        "transmit-supervise",
+        "sleep-entry",
+    ]
+    return image, sequence

@@ -1,0 +1,151 @@
+"""MSP430 microcontroller power/timing model.
+
+"We chose the TI MSP430-F1222 microcontroller in part because it provides
+a sub-microwatt deep sleep mode" (paper §4.5).  The model is a power-mode
+state machine with datasheet-shaped currents:
+
+=======  =============================  ==================================
+Mode     What is running                Current model
+=======  =============================  ==================================
+ACTIVE   CPU at ``clock_hz``            ``i_active_per_mhz`` * f * (V/2.2)
+LPM0     CPU off, clocks on             fixed, V-scaled
+LPM3     only the low-freq timer        fixed, V-scaled (the 6 s wake timer
+                                        lives here)
+LPM4     everything off                 fixed, V-scaled
+=======  =============================  ==================================
+
+Timing: code paths are specified in CPU cycles and converted to seconds at
+the configured clock.  The model is deliberately quasi-static — current
+changes only at mode transitions — which is exactly what the node's
+event-driven electrical solver wants.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import ConfigurationError
+
+
+class Mode(enum.Enum):
+    """MSP430 operating modes (the subset the PicoCube firmware uses)."""
+
+    ACTIVE = "active"
+    LPM0 = "lpm0"
+    LPM3 = "lpm3"
+    LPM4 = "lpm4"
+
+
+class Msp430:
+    """Quasi-static MSP430 power model.
+
+    Parameters are the 2.2 V datasheet numbers; currents scale linearly
+    with supply voltage around that point (CMOS-ish, good enough across
+    the 2.1-3.6 V window).
+    """
+
+    REFERENCE_VDD = 2.2
+
+    def __init__(
+        self,
+        name: str = "msp430-f1222",
+        clock_hz: float = 1e6,
+        i_active_per_mhz: float = 250e-6,
+        i_lpm0: float = 32e-6,
+        i_lpm3: float = 0.7e-6,
+        i_lpm4: float = 0.1e-6,
+        wakeup_time_s: float = 6e-6,
+        v_min: float = 2.1,
+        v_max: float = 3.6,
+    ) -> None:
+        if clock_hz <= 0.0:
+            raise ConfigurationError(f"{name}: clock must be positive")
+        if min(i_active_per_mhz, i_lpm0, i_lpm3, i_lpm4) < 0.0:
+            raise ConfigurationError(f"{name}: currents must be >= 0")
+        if not i_lpm4 <= i_lpm3 <= i_lpm0:
+            raise ConfigurationError(
+                f"{name}: sleep currents must be ordered LPM4 <= LPM3 <= LPM0"
+            )
+        if not 0.0 < v_min < v_max:
+            raise ConfigurationError(f"{name}: invalid supply window")
+        self.name = name
+        self.clock_hz = clock_hz
+        self.i_active_per_mhz = i_active_per_mhz
+        self.i_lpm0 = i_lpm0
+        self.i_lpm3 = i_lpm3
+        self.i_lpm4 = i_lpm4
+        self.wakeup_time_s = wakeup_time_s
+        self.v_min = v_min
+        self.v_max = v_max
+        self.mode = Mode.LPM3
+        self.mode_transitions = 0
+
+    # -- mode control -------------------------------------------------------
+
+    def enter(self, mode: Mode) -> None:
+        """Switch operating mode (the ISR epilogue's LPM bits)."""
+        if not isinstance(mode, Mode):
+            raise ConfigurationError(f"{self.name}: {mode!r} is not a Mode")
+        if mode is not self.mode:
+            self.mode_transitions += 1
+        self.mode = mode
+
+    @property
+    def sub_microwatt_sleep(self) -> bool:
+        """The paper's selection criterion, checked at the supply floor."""
+        return self.power(self.v_min, Mode.LPM3) < 2e-6 and (
+            self.power(self.v_min, Mode.LPM4) < 1e-6
+        )
+
+    # -- electrical -------------------------------------------------------------
+
+    LEAKAGE_DOUBLING_C = 12.0
+    """CMOS leakage roughly doubles every ~12 C — the hot-tire tax."""
+
+    def current(
+        self, v_dd: float, mode: Mode = None, temperature_c: float = 25.0
+    ) -> float:
+        """Supply current in a mode (default: current mode), amperes.
+
+        Active/LPM0 currents are switching-dominated and nearly
+        temperature-flat; the deep-sleep modes are leakage-dominated and
+        scale exponentially with temperature.
+        """
+        if not self.v_min <= v_dd <= self.v_max:
+            raise ConfigurationError(
+                f"{self.name}: VDD {v_dd:.2f} V outside "
+                f"[{self.v_min}, {self.v_max}] V"
+            )
+        if not -40.0 <= temperature_c <= 125.0:
+            raise ConfigurationError(
+                f"{self.name}: temperature {temperature_c} C outside "
+                "the automotive -40..125 C range"
+            )
+        mode = mode or self.mode
+        scale = v_dd / self.REFERENCE_VDD
+        leak = 2.0 ** ((temperature_c - 25.0) / self.LEAKAGE_DOUBLING_C)
+        if mode is Mode.ACTIVE:
+            return self.i_active_per_mhz * (self.clock_hz / 1e6) * scale
+        if mode is Mode.LPM0:
+            return self.i_lpm0 * scale
+        if mode is Mode.LPM3:
+            return self.i_lpm3 * scale * leak
+        return self.i_lpm4 * scale * leak
+
+    def power(
+        self, v_dd: float, mode: Mode = None, temperature_c: float = 25.0
+    ) -> float:
+        """Supply power in a mode, watts."""
+        return v_dd * self.current(v_dd, mode, temperature_c)
+
+    # -- timing ------------------------------------------------------------------
+
+    def cycles_to_seconds(self, cycles: int) -> float:
+        """Execution time of a cycle count at the configured clock."""
+        if cycles < 0:
+            raise ConfigurationError(f"{self.name}: negative cycle count")
+        return cycles / self.clock_hz
+
+    def execution_energy(self, v_dd: float, cycles: int) -> float:
+        """Energy to run ``cycles`` in ACTIVE mode, joules."""
+        return self.power(v_dd, Mode.ACTIVE) * self.cycles_to_seconds(cycles)

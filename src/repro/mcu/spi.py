@@ -1,0 +1,56 @@
+"""SPI master timing/energy model.
+
+The controller talks to the sensor and the radio over SPI through the
+18-signal bus (paper Fig 1: "SPI serial IF"), with level shifters on the
+radio board translating to the 1.0 V logic domain.  The model provides
+transfer timing (for the lifecycle's phase durations) and edge counts (for
+the level-shifter dynamic energy).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+
+class SpiMaster:
+    """A mode-0 SPI master clocked from the MCU."""
+
+    def __init__(
+        self,
+        name: str = "usart0-spi",
+        clock_hz: float = 500e3,
+        bits_per_word: int = 8,
+        inter_word_gap_s: float = 2e-6,
+    ) -> None:
+        if clock_hz <= 0.0:
+            raise ConfigurationError(f"{name}: clock must be positive")
+        if bits_per_word < 1:
+            raise ConfigurationError(f"{name}: need at least 1 bit per word")
+        if inter_word_gap_s < 0.0:
+            raise ConfigurationError(f"{name}: gap must be >= 0")
+        self.name = name
+        self.clock_hz = clock_hz
+        self.bits_per_word = bits_per_word
+        self.inter_word_gap_s = inter_word_gap_s
+
+    def transfer_time(self, n_words: int) -> float:
+        """Bus time to shift ``n_words``, seconds."""
+        if n_words < 0:
+            raise ConfigurationError(f"{self.name}: negative word count")
+        if n_words == 0:
+            return 0.0
+        shifting = n_words * self.bits_per_word / self.clock_hz
+        gaps = (n_words - 1) * self.inter_word_gap_s
+        return shifting + gaps
+
+    def clock_edges(self, n_words: int) -> int:
+        """SCLK edges in a transfer (two per bit), for CV^2 accounting."""
+        if n_words < 0:
+            raise ConfigurationError(f"{self.name}: negative word count")
+        return 2 * n_words * self.bits_per_word
+
+    def data_edges(self, n_words: int, toggle_probability: float = 0.5) -> float:
+        """Expected MOSI edges for random-ish payloads."""
+        if not 0.0 <= toggle_probability <= 1.0:
+            raise ConfigurationError(f"{self.name}: probability outside [0, 1]")
+        return n_words * self.bits_per_word * toggle_probability

@@ -1,0 +1,59 @@
+"""Networking substrate: packet format, framing, demo receive chain."""
+
+from .framing import (
+    bits_to_bytes,
+    bytes_to_bits,
+    manchester_decode,
+    manchester_encode,
+    ones_fraction,
+)
+from .packet import (
+    KIND_ACCEL,
+    KIND_HEARTBEAT,
+    KIND_TPMS,
+    MAX_PAYLOAD_WORDS,
+    PREAMBLE,
+    PicoPacket,
+    SYNC,
+    crc8,
+    decode_accel_reading,
+    decode_tpms_reading,
+    encode_accel_reading,
+    encode_tpms_reading,
+)
+from .baseband import NoisyOokChannel, q_function
+from .basestation import Alarm, BaseStation, NodeTrack
+from .fleet import AirTimeRecord, FleetChannel, FleetStats, aloha_prediction, density_sweep
+from .receiver_chain import DemoReceiverChain, ReceptionStats
+
+__all__ = [
+    "AirTimeRecord",
+    "Alarm",
+    "BaseStation",
+    "NodeTrack",
+    "NoisyOokChannel",
+    "DemoReceiverChain",
+    "FleetChannel",
+    "FleetStats",
+    "KIND_ACCEL",
+    "KIND_HEARTBEAT",
+    "KIND_TPMS",
+    "MAX_PAYLOAD_WORDS",
+    "PREAMBLE",
+    "PicoPacket",
+    "ReceptionStats",
+    "SYNC",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "crc8",
+    "decode_accel_reading",
+    "decode_tpms_reading",
+    "encode_accel_reading",
+    "encode_tpms_reading",
+    "manchester_decode",
+    "manchester_encode",
+    "ones_fraction",
+    "q_function",
+    "aloha_prediction",
+    "density_sweep",
+]

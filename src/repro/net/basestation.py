@@ -1,0 +1,173 @@
+"""The receiver-side application: a TPMS base station / ECU.
+
+The paper stops at the demo bench (scope + laptop), but the tire-pressure
+application it motivates needs a consumer for the beacons: something that
+tracks each wheel's node, notices a deflating tire, and notices a node
+that went silent (dead harvester, dead cell, out of range).  This module
+is that consumer, built on the packet format and receive chain.
+
+Alarm logic:
+
+* ``low-pressure`` — a reading below the cold-placard threshold;
+* ``rapid-leak`` — pressure falling faster than a rate threshold across
+  the recent history (a blowout in progress);
+* ``node-silent`` — no beacon for several expected periods;
+* ``sequence-gap`` — missed packets inferred from the rolling counter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError, PacketError
+from .packet import KIND_TPMS, PicoPacket, decode_tpms_reading
+
+
+@dataclasses.dataclass(frozen=True)
+class Alarm:
+    """One raised condition."""
+
+    time_s: float
+    node_id: int
+    kind: str
+    detail: str
+
+
+@dataclasses.dataclass
+class NodeTrack:
+    """Per-node state the station maintains."""
+
+    node_id: int
+    last_seen_s: float
+    last_seq: int
+    readings: List[dict] = dataclasses.field(default_factory=list)
+    missed_packets: int = 0
+
+    def latest(self) -> Optional[dict]:
+        """Most recent decoded reading."""
+        return self.readings[-1] if self.readings else None
+
+
+class BaseStation:
+    """Tracks a fleet of TPMS nodes and raises alarms."""
+
+    def __init__(
+        self,
+        expected_period_s: float = 6.0,
+        low_pressure_psi: float = 25.0,
+        leak_rate_psi_per_min: float = 1.0,
+        silence_factor: float = 5.0,
+        history_depth: int = 64,
+    ) -> None:
+        if expected_period_s <= 0.0 or low_pressure_psi <= 0.0:
+            raise ConfigurationError("invalid thresholds")
+        if leak_rate_psi_per_min <= 0.0 or silence_factor < 2.0:
+            raise ConfigurationError("invalid leak/silence thresholds")
+        if history_depth < 2:
+            raise ConfigurationError("need history depth >= 2")
+        self.expected_period_s = expected_period_s
+        self.low_pressure_psi = low_pressure_psi
+        self.leak_rate_psi_per_min = leak_rate_psi_per_min
+        self.silence_factor = silence_factor
+        self.history_depth = history_depth
+        self.tracks: Dict[int, NodeTrack] = {}
+        self.alarms: List[Alarm] = []
+
+    # -- ingest ---------------------------------------------------------------
+
+    def ingest(self, packet: PicoPacket, time_s: float) -> List[Alarm]:
+        """Process one decoded packet; returns alarms it raised."""
+        if packet.kind != KIND_TPMS:
+            raise PacketError(
+                f"base station only consumes TPMS packets, got {packet.kind:#04x}"
+            )
+        values = decode_tpms_reading(packet)
+        values["time_s"] = time_s
+        raised: List[Alarm] = []
+        track = self.tracks.get(packet.node_id)
+        if track is None:
+            track = NodeTrack(
+                node_id=packet.node_id, last_seen_s=time_s, last_seq=packet.seq
+            )
+            self.tracks[packet.node_id] = track
+        else:
+            gap = (packet.seq - track.last_seq - 1) % 256
+            if 0 < gap < 128:  # large "gaps" are reboots, not losses
+                track.missed_packets += gap
+                raised.append(
+                    Alarm(time_s, packet.node_id, "sequence-gap",
+                          f"{gap} packet(s) missed")
+                )
+            track.last_seq = packet.seq
+            track.last_seen_s = time_s
+        track.readings.append(values)
+        del track.readings[: -self.history_depth]
+        raised.extend(self._pressure_alarms(track, time_s))
+        self.alarms.extend(raised)
+        return raised
+
+    def _pressure_alarms(self, track: NodeTrack, time_s: float) -> List[Alarm]:
+        raised = []
+        latest = track.latest()
+        if latest["pressure_psi"] < self.low_pressure_psi:
+            raised.append(
+                Alarm(time_s, track.node_id, "low-pressure",
+                      f"{latest['pressure_psi']:.1f} psi")
+            )
+        if len(track.readings) >= 2:
+            window = track.readings[-min(len(track.readings), 10):]
+            dt_min = (window[-1]["time_s"] - window[0]["time_s"]) / 60.0
+            if dt_min > 0.0:
+                rate = (
+                    window[0]["pressure_psi"] - window[-1]["pressure_psi"]
+                ) / dt_min
+                if rate > self.leak_rate_psi_per_min:
+                    raised.append(
+                        Alarm(time_s, track.node_id, "rapid-leak",
+                              f"-{rate:.1f} psi/min")
+                    )
+        return raised
+
+    # -- watchdog -------------------------------------------------------------------
+
+    def check_silent(self, now_s: float) -> List[Alarm]:
+        """Raise node-silent alarms for nodes overdue by the factor."""
+        raised = []
+        deadline = self.silence_factor * self.expected_period_s
+        for track in self.tracks.values():
+            overdue = now_s - track.last_seen_s
+            if overdue > deadline:
+                alarm = Alarm(
+                    now_s, track.node_id, "node-silent",
+                    f"last heard {overdue:.0f} s ago"
+                )
+                raised.append(alarm)
+        self.alarms.extend(raised)
+        return raised
+
+    # -- queries ----------------------------------------------------------------------
+
+    def node_ids(self) -> List[int]:
+        """Tracked nodes, sorted."""
+        return sorted(self.tracks)
+
+    def pressure_of(self, node_id: int) -> float:
+        """Latest pressure for a node, psi."""
+        if node_id not in self.tracks:
+            raise ConfigurationError(f"unknown node {node_id}")
+        return self.tracks[node_id].latest()["pressure_psi"]
+
+    def alarms_of_kind(self, kind: str) -> List[Alarm]:
+        """All alarms of one kind, in raise order."""
+        return [a for a in self.alarms if a.kind == kind]
+
+    def fleet_healthy(self, now_s: float) -> bool:
+        """No active low-pressure and nobody silent."""
+        if self.check_silent(now_s):
+            return False
+        return all(
+            track.latest() is not None
+            and track.latest()["pressure_psi"] >= self.low_pressure_psi
+            for track in self.tracks.values()
+        )

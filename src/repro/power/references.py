@@ -1,0 +1,121 @@
+"""Analog support blocks of the power IC: current reference and bandgap.
+
+"A self-biased current source supplies bias current to the chip via a
+current mirror.  It is biased at 18 nA independent of VDD and mildly
+dependent on temperature.  An ultralow-power sampled bandgap reference
+provides a reference voltage to both the converter feedback circuitry and
+the linear regulators." (paper §7.1)
+
+These blocks matter because they are *always on*: in a 6 µW system, even
+tens of nanoamps of standing bias is a visible line in the energy audit.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..units import ROOM_TEMPERATURE_K
+
+
+class CurrentReference:
+    """Self-biased nA current reference with mirror outputs.
+
+    Supply-independent by construction; temperature enters through a
+    linear coefficient (PTAT-ish residue).
+    """
+
+    def __init__(
+        self,
+        name: str = "current-reference",
+        i_nominal: float = 18e-9,
+        temp_coefficient_per_k: float = 2e-3,
+        t_nominal: float = ROOM_TEMPERATURE_K,
+        mirror_branches: int = 4,
+    ) -> None:
+        if i_nominal <= 0.0:
+            raise ConfigurationError(f"{name}: i_nominal must be positive")
+        if mirror_branches < 1:
+            raise ConfigurationError(f"{name}: need at least one mirror branch")
+        self.name = name
+        self.i_nominal = i_nominal
+        self.temp_coefficient_per_k = temp_coefficient_per_k
+        self.t_nominal = t_nominal
+        self.mirror_branches = mirror_branches
+
+    def current(self, temperature_k: float = ROOM_TEMPERATURE_K) -> float:
+        """Reference branch current at a given temperature, amperes."""
+        delta = temperature_k - self.t_nominal
+        return self.i_nominal * (1.0 + self.temp_coefficient_per_k * delta)
+
+    def supply_current(self, temperature_k: float = ROOM_TEMPERATURE_K) -> float:
+        """Total chip current drawn: the core plus each mirror branch."""
+        return self.current(temperature_k) * (1 + self.mirror_branches)
+
+    def power(
+        self, v_dd: float, temperature_k: float = ROOM_TEMPERATURE_K
+    ) -> float:
+        """Standing power at a supply voltage, watts."""
+        if v_dd <= 0.0:
+            raise ConfigurationError(f"{self.name}: v_dd must be positive")
+        return v_dd * self.supply_current(temperature_k)
+
+
+class SampledBandgap:
+    """A duty-cycled (sampled) bandgap voltage reference.
+
+    Running a bandgap continuously costs microamps; sampling it onto a
+    hold capacitor for a few microseconds every few milliseconds cuts the
+    average current by the duty ratio, at the cost of droop on the hold
+    cap between refreshes.  The model exposes both the average current and
+    the worst-case droop so rail designers can bound their reference error.
+    """
+
+    def __init__(
+        self,
+        name: str = "sampled-bandgap",
+        v_ref: float = 0.6,
+        i_active: float = 2e-6,
+        t_sample: float = 10e-6,
+        t_period: float = 1e-3,
+        c_hold: float = 10e-12,
+        i_droop: float = 10e-12,
+    ) -> None:
+        if v_ref <= 0.0:
+            raise ConfigurationError(f"{name}: v_ref must be positive")
+        if not 0.0 < t_sample < t_period:
+            raise ConfigurationError(f"{name}: need 0 < t_sample < t_period")
+        if i_active <= 0.0 or c_hold <= 0.0 or i_droop < 0.0:
+            raise ConfigurationError(f"{name}: electrical parameters invalid")
+        self.name = name
+        self.v_ref = v_ref
+        self.i_active = i_active
+        self.t_sample = t_sample
+        self.t_period = t_period
+        self.c_hold = c_hold
+        self.i_droop = i_droop
+
+    @property
+    def duty(self) -> float:
+        """Fraction of time the bandgap core is powered."""
+        return self.t_sample / self.t_period
+
+    def average_current(self) -> float:
+        """Average supply current with sampling, amperes."""
+        return self.i_active * self.duty
+
+    def continuous_current(self) -> float:
+        """Supply current if run un-sampled (the savings baseline)."""
+        return self.i_active
+
+    def droop(self) -> float:
+        """Worst-case reference droop between refreshes, volts."""
+        return self.i_droop * (self.t_period - self.t_sample) / self.c_hold
+
+    def worst_case_reference(self) -> float:
+        """Lowest reference voltage seen just before a refresh, volts."""
+        return self.v_ref - self.droop()
+
+    def power(self, v_dd: float) -> float:
+        """Average standing power at a supply voltage, watts."""
+        if v_dd <= 0.0:
+            raise ConfigurationError(f"{self.name}: v_dd must be positive")
+        return v_dd * self.average_current()

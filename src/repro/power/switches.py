@@ -1,0 +1,124 @@
+"""Power-gating switch and level-shifter models.
+
+The switch board (paper §4.5) gates the two radio supplies so they draw
+nothing between transmissions: the 1.0 V shunt-regulator output is switched
+for a clean rising edge, and the 0.65 V PA supply is switched at its input
+(to kill quiescent loss) and, a short time later, at its output (clean
+edge, no overshoot).  The radio board also carries CSP level shifters that
+translate the microcontroller's ~2.2 V logic down to the radio's 1.0 V
+logic (paper §4.6).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError, ElectricalError
+
+
+class PowerSwitch:
+    """An analog power-gating switch with on-resistance and off-leakage."""
+
+    def __init__(
+        self,
+        name: str,
+        r_on: float = 1.0,
+        i_leak_off: float = 1e-9,
+        i_max: float = 0.1,
+    ) -> None:
+        if r_on < 0.0 or i_leak_off < 0.0:
+            raise ConfigurationError(f"{name}: r_on and i_leak_off must be >= 0")
+        if i_max <= 0.0:
+            raise ConfigurationError(f"{name}: i_max must be positive")
+        self.name = name
+        self.r_on = r_on
+        self.i_leak_off = i_leak_off
+        self.i_max = i_max
+        self.closed = False
+
+    def close(self) -> None:
+        """Turn the switch on."""
+        self.closed = True
+
+    def open(self) -> None:
+        """Turn the switch off."""
+        self.closed = False
+
+    def current(self, i_demand: float) -> float:
+        """Current actually passed for a demanded load current."""
+        if not self.closed:
+            return 0.0
+        if i_demand > self.i_max:
+            raise ElectricalError(
+                f"{self.name}: demand {i_demand:.4g} A exceeds rating "
+                f"{self.i_max:.4g} A"
+            )
+        return i_demand
+
+    def voltage_drop(self, current: float) -> float:
+        """Ohmic drop across the closed switch, volts."""
+        if not self.closed:
+            raise ElectricalError(f"{self.name}: open switch has no defined drop")
+        return current * self.r_on
+
+    def conduction_loss(self, current: float) -> float:
+        """I^2 R dissipation while closed, watts."""
+        if not self.closed:
+            return 0.0
+        return current**2 * self.r_on
+
+    def leakage_power(self, v_blocked: float) -> float:
+        """Leakage dissipation while open, watts."""
+        if self.closed:
+            return 0.0
+        return abs(v_blocked) * self.i_leak_off
+
+
+class LevelShifter:
+    """A logic level translator between two supply domains.
+
+    Power cost has a static part (per-channel quiescent in each domain)
+    and a dynamic part (energy per transition, CV^2-like).  The PicoCube's
+    radio board carries these in tiny CSP packages to shift the SPI and
+    data signals from the controller rail to the radio's 1.0 V logic.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        v_high_side: float,
+        v_low_side: float,
+        channels: int = 4,
+        i_static_per_channel: float = 50e-9,
+        c_equivalent: float = 5e-12,
+    ) -> None:
+        if channels < 1:
+            raise ConfigurationError(f"{name}: need at least one channel")
+        if v_high_side <= 0.0 or v_low_side <= 0.0:
+            raise ConfigurationError(f"{name}: domain voltages must be positive")
+        self.name = name
+        self.v_high_side = v_high_side
+        self.v_low_side = v_low_side
+        self.channels = channels
+        self.i_static_per_channel = i_static_per_channel
+        self.c_equivalent = c_equivalent
+
+    def static_power(self) -> float:
+        """Quiescent power with all channels idle, watts."""
+        return (
+            self.channels
+            * self.i_static_per_channel
+            * (self.v_high_side + self.v_low_side)
+        )
+
+    def energy_per_transition(self) -> float:
+        """Energy for one output edge, joules (CV^2 on the low side)."""
+        return self.c_equivalent * self.v_low_side**2
+
+    def dynamic_power(self, toggle_rate_hz: float) -> float:
+        """Switching power at an aggregate toggle rate, watts."""
+        if toggle_rate_hz < 0.0:
+            raise ConfigurationError(f"{self.name}: toggle rate must be >= 0")
+        return toggle_rate_hz * self.energy_per_transition()
+
+    def power(self, toggle_rate_hz: float = 0.0) -> float:
+        """Total (static + dynamic) power, watts."""
+        return self.static_power() + self.dynamic_power(toggle_rate_hz)

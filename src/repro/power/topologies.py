@@ -1,0 +1,266 @@
+"""Canonical switched-capacitor converter topologies.
+
+Each builder returns a fully-wired :class:`~repro.power.scnetwork.SCNetwork`
+whose analysis yields the ideal ratio and charge-multiplier vectors.  The
+two topologies in the paper's Fig 10 — the 1:2 doubler feeding the
+microcontroller/sensor rail and the 3:2 step-down feeding the radio rail —
+are provided exactly, plus the large-ratio step-up families discussed in
+Seeman-Sanders [13] (series-parallel, Dickson, ladder, Fibonacci) for the
+topology-comparison experiment (E16).
+
+Naming: an ``m:n`` converter produces ``V_out = (n/m) V_in``; the paper's
+"1:2 converter" doubles and its "3:2 converter" produces two-thirds.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ConfigurationError
+from .scnetwork import PHASE_1, PHASE_2, SCNetwork, GND, VIN, VOUT
+
+
+def _other(phase: int) -> int:
+    return PHASE_2 if phase == PHASE_1 else PHASE_1
+
+
+def doubler() -> SCNetwork:
+    """The paper's 1:2 converter (Fig 10a): V_out = 2 V_in.
+
+    One flying capacitor, four switches.  In phase 1 the capacitor charges
+    to V_in; in phase 2 it stacks on top of V_in to feed the output.  This
+    is the stage that turns the 1.2 V NiMH voltage into ~2.4 V (>2.1 V
+    minimum) for the MSP430 and sensor.
+    """
+    net = SCNetwork("doubler-1:2")
+    net.add_capacitor("c1", "t1", "b1")
+    net.add_switch("s_charge_top", "t1", VIN, PHASE_1)
+    net.add_switch("s_charge_bot", "b1", GND, PHASE_1)
+    net.add_switch("s_boost_bot", "b1", VIN, PHASE_2)
+    net.add_switch("s_out", "t1", VOUT, PHASE_2)
+    return net
+
+
+def step_down_3_to_2() -> SCNetwork:
+    """The paper's 3:2 converter (Fig 10b): V_out = (2/3) V_in.
+
+    Two flying capacitors.  Phase 1: both in parallel between V_in and
+    V_out (each charges to V_in - V_out).  Phase 2: both in series between
+    V_out and ground.  Steady state forces 2(V_in - V_out) = V_out, i.e.
+    V_out = 2/3 V_in — about 0.8 V from the 1.2 V cell, post-regulated by
+    a linear regulator down to the radio's 0.65 V.
+    """
+    net = SCNetwork("step-down-3:2")
+    net.add_capacitor("c1", "t1", "b1")
+    net.add_capacitor("c2", "t2", "b2")
+    # Phase 1: parallel between vin and vout.
+    net.add_switch("s1_c1_top", "t1", VIN, PHASE_1)
+    net.add_switch("s1_c1_bot", "b1", VOUT, PHASE_1)
+    net.add_switch("s1_c2_top", "t2", VIN, PHASE_1)
+    net.add_switch("s1_c2_bot", "b2", VOUT, PHASE_1)
+    # Phase 2: series string from vout to gnd.
+    net.add_switch("s2_string_top", "t1", VOUT, PHASE_2)
+    net.add_switch("s2_string_mid", "b1", "t2", PHASE_2)
+    net.add_switch("s2_string_bot", "b2", GND, PHASE_2)
+    return net
+
+
+def series_parallel_step_up(n: int) -> SCNetwork:
+    """Series-parallel 1:n step-up: V_out = n V_in with n-1 flying caps.
+
+    Phase 1 charges all capacitors in parallel across V_in; phase 2 stacks
+    them in series on top of V_in.  Every capacitor is rated at V_in and
+    carries the full output charge, which is SSL-optimal for its cap count,
+    but the stacked switches must block up to (n-1) V_in.
+    """
+    if n < 2:
+        raise ConfigurationError(f"series-parallel step-up needs n >= 2, got {n}")
+    net = SCNetwork(f"series-parallel-1:{n}")
+    for k in range(1, n):
+        net.add_capacitor(f"c{k}", f"t{k}", f"b{k}")
+        # Phase 1: all caps in parallel across vin.
+        net.add_switch(f"p{k}_top", f"t{k}", VIN, PHASE_1)
+        net.add_switch(f"p{k}_bot", f"b{k}", GND, PHASE_1)
+    # Phase 2: vin -> c1 -> c2 -> ... -> vout.
+    net.add_switch("s_base", "b1", VIN, PHASE_2)
+    for k in range(1, n - 1):
+        net.add_switch(f"s_link{k}", f"t{k}", f"b{k + 1}", PHASE_2)
+    net.add_switch("s_out", f"t{n - 1}", VOUT, PHASE_2)
+    return net
+
+
+def series_parallel_step_down(n: int) -> SCNetwork:
+    """Series-parallel n:1 step-down: V_out = V_in / n with n-1 flying caps.
+
+    Phase 1: capacitors in series between V_in and V_out; phase 2: all in
+    parallel across V_out.
+    """
+    if n < 2:
+        raise ConfigurationError(f"series-parallel step-down needs n >= 2, got {n}")
+    net = SCNetwork(f"series-parallel-{n}:1")
+    for k in range(1, n):
+        net.add_capacitor(f"c{k}", f"t{k}", f"b{k}")
+        # Phase 2: all caps in parallel across vout.
+        net.add_switch(f"p{k}_top", f"t{k}", VOUT, PHASE_2)
+        net.add_switch(f"p{k}_bot", f"b{k}", GND, PHASE_2)
+    # Phase 1: vin -> c1 -> ... -> c(n-1) -> vout.
+    net.add_switch("s_base", "t1", VIN, PHASE_1)
+    for k in range(1, n - 1):
+        net.add_switch(f"s_link{k}", f"b{k}", f"t{k + 1}", PHASE_1)
+    net.add_switch("s_out", f"b{n - 1}", VOUT, PHASE_1)
+    return net
+
+
+def fractional_step_up(n: int) -> SCNetwork:
+    """Fractional step-up: V_out = (n+1)/n * V_in with n flying caps.
+
+    Phase 1 strings the n capacitors in series across V_in (each charges
+    to V_in / n); phase 2 parallels them all on top of V_in.  The n = 2
+    case is the 3:2 *step-up* — the gear that keeps a variable-ratio bank
+    efficient for inputs just above the regulation target.
+    """
+    if n < 1:
+        raise ConfigurationError(f"fractional step-up needs n >= 1, got {n}")
+    net = SCNetwork(f"fractional-{n + 1}:{n}")
+    for k in range(1, n + 1):
+        net.add_capacitor(f"c{k}", f"t{k}", f"b{k}")
+        # Phase 2: all caps in parallel between vin and vout.
+        net.add_switch(f"p{k}_bot", f"b{k}", VIN, PHASE_2)
+        net.add_switch(f"p{k}_top", f"t{k}", VOUT, PHASE_2)
+    # Phase 1: vin -> c1 -> c2 -> ... -> gnd (series string).
+    net.add_switch("s_base", "t1", VIN, PHASE_1)
+    for k in range(1, n):
+        net.add_switch(f"s_link{k}", f"b{k}", f"t{k + 1}", PHASE_1)
+    net.add_switch("s_end", f"b{n}", GND, PHASE_1)
+    return net
+
+
+def dickson_step_up(n: int) -> SCNetwork:
+    """Dickson charge pump 1:n step-up with n-1 capacitors.
+
+    Capacitor bottom plates are clocked between ground and V_in on
+    alternating phases while charge ladders up the top-plate chain.
+    Capacitor k is rated at k*V_in, so the capacitor VA cost grows as
+    n(n-1)/2 — worse than series-parallel — but all clocking switches only
+    block V_in, giving an excellent switch (FSL) metric.
+    """
+    if n < 2:
+        raise ConfigurationError(f"Dickson step-up needs n >= 2, got {n}")
+    net = SCNetwork(f"dickson-1:{n}")
+    for k in range(1, n):
+        net.add_capacitor(f"c{k}", f"t{k}", f"b{k}")
+        # Bottom-plate clocking: odd caps low in phase 1, even caps low in
+        # phase 2.
+        low_phase = PHASE_1 if k % 2 == 1 else PHASE_2
+        net.add_switch(f"clk{k}_low", f"b{k}", GND, low_phase)
+        net.add_switch(f"clk{k}_high", f"b{k}", VIN, _other(low_phase))
+    # Top-plate transfer chain: vin -> t1 -> t2 -> ... -> vout.
+    net.add_switch("xfer0", VIN, "t1", PHASE_1)
+    for k in range(1, n - 1):
+        # Cap k hands its charge to cap k+1 while k is boosted and k+1 low.
+        xfer_phase = PHASE_2 if k % 2 == 1 else PHASE_1
+        net.add_switch(f"xfer{k}", f"t{k}", f"t{k + 1}", xfer_phase)
+    out_phase = PHASE_2 if (n - 1) % 2 == 1 else PHASE_1
+    net.add_switch("xfer_out", f"t{n - 1}", VOUT, out_phase)
+    return net
+
+
+def ladder_step_up(n: int) -> SCNetwork:
+    """Ladder 1:n step-up.
+
+    Rails at k*V_in are held by DC rung capacitors; flying capacitors
+    shuttle between adjacent rungs, equalising every rung to V_in.  All
+    devices (caps and switches) are rated at V_in — the ladder's signature
+    property — at the cost of charge making multiple hops, which inflates
+    the charge multipliers for large n.
+    """
+    if n < 2:
+        raise ConfigurationError(f"ladder step-up needs n >= 2, got {n}")
+    net = SCNetwork(f"ladder-1:{n}")
+
+    def rail(k: int) -> str:
+        if k == 0:
+            return GND
+        if k == 1:
+            return VIN
+        if k == n:
+            return VOUT
+        return f"r{k}"
+
+    # DC rung capacitors across rungs 2..n (rung 1 is the source itself).
+    for k in range(2, n + 1):
+        if rail(k) == VOUT:
+            # The output reservoir plays the role of the top rung cap for
+            # rung n; add an explicit cap only for interior rungs.
+            continue
+        net.add_capacitor(f"d{k}", rail(k), rail(k - 1))
+    # Flying capacitors: f_k shuttles between rung k and rung k+1.
+    for k in range(1, n):
+        phase_low = PHASE_1 if k % 2 == 1 else PHASE_2
+        net.add_capacitor(f"f{k}", f"ft{k}", f"fb{k}")
+        net.add_switch(f"f{k}_low_top", f"ft{k}", rail(k), phase_low)
+        net.add_switch(f"f{k}_low_bot", f"fb{k}", rail(k - 1), phase_low)
+        net.add_switch(f"f{k}_hi_top", f"ft{k}", rail(k + 1), _other(phase_low))
+        net.add_switch(f"f{k}_hi_bot", f"fb{k}", rail(k), _other(phase_low))
+    return net
+
+
+def fibonacci_step_up(stages: int) -> SCNetwork:
+    """Fibonacci step-up with ``stages`` flying capacitors.
+
+    Achieves the largest conversion ratio possible per capacitor count for
+    two-phase converters: ratio F(stages + 2) where F is the Fibonacci
+    sequence (1, 1, 2, 3, 5, 8, ...) — 2, 3, 5, 8, 13 for 1..5 stages.
+    Stage k charges to F(k+1)*V_in in one phase and stacks on the boosted
+    output of stage k-2 in the other.
+    """
+    if stages < 1:
+        raise ConfigurationError(f"Fibonacci step-up needs >= 1 stage, got {stages}")
+    net = SCNetwork(f"fibonacci-x{fibonacci_ratio(stages)}")
+    for k in range(1, stages + 1):
+        charge_phase = PHASE_1 if k % 2 == 1 else PHASE_2
+        boost_phase = _other(charge_phase)
+        net.add_capacitor(f"c{k}", f"t{k}", f"b{k}")
+        source_top = VIN if k == 1 else f"t{k - 1}"
+        net.add_switch(f"chg{k}_top", f"t{k}", source_top, charge_phase)
+        net.add_switch(f"chg{k}_bot", f"b{k}", GND, charge_phase)
+        boost_source = VIN if k <= 2 else f"t{k - 2}"
+        net.add_switch(f"boost{k}", f"b{k}", boost_source, boost_phase)
+    final_boost = PHASE_2 if stages % 2 == 1 else PHASE_1
+    net.add_switch("s_out", f"t{stages}", VOUT, final_boost)
+    return net
+
+
+def fibonacci_ratio(stages: int) -> int:
+    """Conversion ratio achieved by ``stages`` Fibonacci cells: F(stages+2)."""
+    a, b = 1, 1
+    for _ in range(stages):
+        a, b = b, a + b
+    return b
+
+
+def step_up_family(name: str, n: int) -> SCNetwork:
+    """Dispatch a step-up topology family by name (for sweep benchmarks)."""
+    builders = {
+        "series-parallel": series_parallel_step_up,
+        "dickson": dickson_step_up,
+        "ladder": ladder_step_up,
+    }
+    if name == "fibonacci":
+        # Find the stage count whose ratio equals n, if any.
+        stages = 1
+        while fibonacci_ratio(stages) < n:
+            stages += 1
+        if fibonacci_ratio(stages) != n:
+            raise ConfigurationError(
+                f"Fibonacci family cannot produce ratio {n} exactly"
+            )
+        return fibonacci_step_up(stages)
+    if name not in builders:
+        raise ConfigurationError(f"unknown topology family {name!r}")
+    return builders[name](n)
+
+
+def all_step_up_families() -> List[str]:
+    """Names accepted by :func:`step_up_family`."""
+    return ["series-parallel", "dickson", "ladder", "fibonacci"]

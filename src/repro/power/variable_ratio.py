@@ -1,0 +1,167 @@
+"""Variable-ratio (gear-hopping) switched-capacitor converter bank.
+
+Paper §7.1: "variable-ratio inverters can be used to both efficiently
+create an AC waveform and to also efficiently rectify a varying waveform
+... In addition, SC converters can provide load voltage conversion,
+regulation and switching for all the loads of a wireless sensor node."
+
+A fixed-ratio SC converter's efficiency ceiling is ``v_target / (M v_in)``
+— it degrades linearly as the input moves above the regulation point.
+Over a storage buffer's voltage swing (severe for capacitor storage,
+mild for NiMH) the fix is a *bank* of ratios: the controller hops to the
+gear whose ideal output sits just above the target, keeping the ceiling
+high across the whole input range.
+
+:class:`VariableRatioConverter` composes several
+:class:`~repro.power.sc_converter.SwitchedCapacitorConverter` gears behind
+the standard :class:`~repro.power.base.Converter` interface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ConfigurationError, ElectricalError
+from .base import Converter, OperatingPoint
+from .sc_converter import SwitchedCapacitorConverter, design_for_load
+from .scnetwork import SCNetwork
+from .topologies import (
+    doubler,
+    fractional_step_up,
+    series_parallel_step_down,
+    series_parallel_step_up,
+    step_down_3_to_2,
+)
+
+
+def standard_gearbox() -> List[SCNetwork]:
+    """A useful ratio ladder: 1/3, 1/2, 2/3, 1, 4/3, 3/2, 2, 3 (x V_in)."""
+    follower = SCNetwork("follower-1:1")
+    follower.add_capacitor("c1", "t", "b")
+    follower.add_switch("s1", "t", "vin", 1)
+    follower.add_switch("s2", "b", "gnd", 1)
+    follower.add_switch("s3", "t", "vout", 2)
+    follower.add_switch("s4", "b", "gnd", 2)
+    return [
+        series_parallel_step_down(3),
+        series_parallel_step_down(2),
+        step_down_3_to_2(),
+        follower,
+        fractional_step_up(3),   # 4:3
+        fractional_step_up(2),   # 3:2
+        doubler(),
+        series_parallel_step_up(3),
+    ]
+
+
+class VariableRatioConverter(Converter):
+    """A bank of SC gears with automatic ratio selection.
+
+    Parameters mirror :func:`~repro.power.sc_converter.design_for_load`;
+    each gear is sized at its own worst-case input so every gear can carry
+    the full load.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        v_target: float,
+        i_load_max: float,
+        networks: Sequence[SCNetwork] = None,
+        v_in_range: Tuple[float, float] = (0.9, 2.8),
+        headroom: float = 1.02,
+        f_max: float = 20e6,
+        tau_gate: float = 1.5e-12,
+        alpha_bottom_plate: float = 0.0015,
+        i_controller: float = 0.35e-6,
+    ) -> None:
+        super().__init__(name)
+        if v_target <= 0.0 or i_load_max <= 0.0:
+            raise ConfigurationError(f"{name}: target and load must be positive")
+        if not 0.0 < v_in_range[0] < v_in_range[1]:
+            raise ConfigurationError(f"{name}: invalid input range {v_in_range}")
+        if headroom < 1.0:
+            raise ConfigurationError(f"{name}: headroom must be >= 1")
+        self.v_target = v_target
+        self.v_in_min, self.v_in_max = v_in_range
+        self.headroom = headroom
+        self.gears: List[SwitchedCapacitorConverter] = []
+        networks = list(networks) if networks is not None else standard_gearbox()
+        for network in networks:
+            ratio = network.analyze().ratio
+            if ratio <= 0.0:
+                continue
+            # The gear is usable where M * v_in exceeds the target with
+            # headroom; size it at the lowest such input in range.
+            v_in_usable = max(self.v_in_min, headroom * v_target / ratio)
+            if v_in_usable > self.v_in_max:
+                continue  # never usable in range
+            self.gears.append(
+                design_for_load(
+                    f"{name}/{network.name}",
+                    network,
+                    v_in=v_in_usable,
+                    v_target=v_target,
+                    i_load_max=i_load_max,
+                    f_max=f_max,
+                    tau_gate=tau_gate,
+                    alpha_bottom_plate=alpha_bottom_plate,
+                    i_controller=i_controller,
+                )
+            )
+        if not self.gears:
+            raise ConfigurationError(
+                f"{name}: no gear can regulate {v_target} V over "
+                f"[{self.v_in_min}, {self.v_in_max}] V"
+            )
+        # Sort by ratio ascending so selection picks the smallest workable M.
+        self.gears.sort(key=lambda g: g.ratio)
+        self.gear_changes = 0
+        self._last_gear: SwitchedCapacitorConverter = None
+
+    # -- gear selection --------------------------------------------------------
+
+    def available_ratios(self) -> List[float]:
+        """The bank's conversion ratios, ascending."""
+        return [gear.ratio for gear in self.gears]
+
+    def select_gear(self, v_in: float) -> SwitchedCapacitorConverter:
+        """Lowest ratio whose ideal output clears the target with headroom.
+
+        The lowest workable ratio maximises the efficiency ceiling
+        ``v_target / (M v_in)``.
+        """
+        if not self.v_in_min <= v_in <= self.v_in_max:
+            raise ElectricalError(
+                f"{self.name}: input {v_in:.2f} V outside design range "
+                f"[{self.v_in_min}, {self.v_in_max}] V"
+            )
+        for gear in self.gears:
+            if gear.ratio * v_in >= self.headroom * self.v_target:
+                if gear is not self._last_gear:
+                    self.gear_changes += 1
+                    self._last_gear = gear
+                return gear
+        raise ElectricalError(
+            f"{self.name}: no ratio reaches {self.v_target} V from {v_in} V"
+        )
+
+    def efficiency_ceiling(self, v_in: float) -> float:
+        """Best possible efficiency at this input (ratio quantisation)."""
+        gear = self.select_gear(v_in)
+        return self.v_target / (gear.ratio * v_in)
+
+    # -- Converter interface -----------------------------------------------------
+
+    def solve(self, v_in: float, i_out: float) -> OperatingPoint:
+        self._require_positive_load(i_out)
+        if not self.enabled:
+            return OperatingPoint(v_in=v_in, v_out=0.0, i_in=0.0, i_out=0.0)
+        gear = self.select_gear(v_in)
+        return gear.solve(v_in, i_out)
+
+    def efficiency_vs_input(
+        self, inputs: Sequence[float], i_out: float
+    ) -> Dict[float, float]:
+        """Efficiency across an input-voltage sweep at a fixed load."""
+        return {v: self.solve(v, i_out).efficiency for v in inputs}

@@ -1,0 +1,169 @@
+"""Patch antenna model: the 1 cm^3 constraint meets electromagnetics.
+
+"Radio PCB design was one of the most challenging tasks in building the
+Cube due to limited area for an antenna. ...  In order to achieve
+acceptable efficiency, the patch-ground layer needed a dielectric constant
+of over 10 with a thickness of 70 mils.  Unfortunately, maximum thickness
+for the most suitable dielectric material (Rogers 3010) was 50 mils. ...
+A board redesign compromised efficiency by using a single 50 mil layer."
+(paper §4.6)
+
+The model is a quarter-wave (shorted) patch with the standard quality-
+factor decomposition: radiation Q (falls with substrate thickness — thick
+substrates radiate better), conductor Q (skin effect, grows with
+thickness), and dielectric Q (loss tangent).  Efficiency is
+``eta = Q_total / Q_rad``, multiplied by a matching-network penalty when
+the achievable permittivity cannot actually resonate the patch at the
+carrier inside the available length — the exact corner the PicoCube
+designers were painted into.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..errors import ConfigurationError
+from ..units import SPEED_OF_LIGHT, mils_to_metres
+
+
+@dataclasses.dataclass(frozen=True)
+class DielectricMaterial:
+    """A PCB laminate for the antenna substrate."""
+
+    name: str
+    permittivity: float
+    loss_tangent: float
+    max_thickness_m: float
+
+    def __post_init__(self) -> None:
+        if self.permittivity < 1.0:
+            raise ConfigurationError(f"{self.name}: permittivity below 1")
+        if not 0.0 <= self.loss_tangent < 0.1:
+            raise ConfigurationError(f"{self.name}: implausible loss tangent")
+        if self.max_thickness_m <= 0.0:
+            raise ConfigurationError(f"{self.name}: max thickness must be positive")
+
+
+ROGERS_3010 = DielectricMaterial(
+    "Rogers 3010", permittivity=10.2, loss_tangent=0.0023,
+    max_thickness_m=mils_to_metres(50.0),
+)
+FR4 = DielectricMaterial(
+    "FR4", permittivity=4.4, loss_tangent=0.02,
+    max_thickness_m=mils_to_metres(120.0),
+)
+
+
+class PatchAntenna:
+    """A quarter-wave shorted patch on the cube's top metal layer."""
+
+    COPPER_SKIN_DEPTH_1GHZ = 2.06e-6  # metres; scales as 1/sqrt(f)
+
+    def __init__(
+        self,
+        name: str = "picocube-patch",
+        patch_length_m: float = 9.0e-3,
+        material: DielectricMaterial = ROGERS_3010,
+        thickness_m: float = None,
+        frequency_hz: float = 1.863e9,
+        matching_network_q: float = 40.0,
+    ) -> None:
+        if patch_length_m <= 0.0 or frequency_hz <= 0.0:
+            raise ConfigurationError(f"{name}: length and frequency must be positive")
+        thickness = thickness_m if thickness_m is not None else material.max_thickness_m
+        if thickness <= 0.0:
+            raise ConfigurationError(f"{name}: thickness must be positive")
+        if thickness > material.max_thickness_m + 1e-12:
+            raise ConfigurationError(
+                f"{name}: {material.name} is not available thicker than "
+                f"{material.max_thickness_m * 1e3:.2f} mm "
+                f"(requested {thickness * 1e3:.2f} mm)"
+            )
+        if matching_network_q <= 0.0:
+            raise ConfigurationError(f"{name}: matching Q must be positive")
+        self.name = name
+        self.patch_length_m = patch_length_m
+        self.material = material
+        self.thickness_m = thickness
+        self.frequency_hz = frequency_hz
+        self.matching_network_q = matching_network_q
+
+    # -- resonance ------------------------------------------------------------
+
+    @property
+    def effective_length_m(self) -> float:
+        """Patch length plus fringing extension (~ one substrate height)."""
+        return self.patch_length_m + self.thickness_m
+
+    def resonant_frequency(self) -> float:
+        """Quarter-wave resonance with the installed dielectric, Hz."""
+        return SPEED_OF_LIGHT / (
+            4.0 * self.effective_length_m * math.sqrt(self.material.permittivity)
+        )
+
+    def required_permittivity(self) -> float:
+        """Permittivity needed to resonate at the carrier in this length.
+
+        For the PicoCube geometry this lands just above 10 — the paper's
+        "dielectric constant of over 10".
+        """
+        quarter_wave = SPEED_OF_LIGHT / (4.0 * self.frequency_hz)
+        return (quarter_wave / self.effective_length_m) ** 2
+
+    def detuning_fraction(self) -> float:
+        """|f_res - f_carrier| / f_carrier: what matching must absorb."""
+        return abs(self.resonant_frequency() - self.frequency_hz) / self.frequency_hz
+
+    # -- quality factors ----------------------------------------------------------
+
+    @property
+    def wavelength_m(self) -> float:
+        """Free-space wavelength at the carrier."""
+        return SPEED_OF_LIGHT / self.frequency_hz
+
+    def q_radiation(self) -> float:
+        """Radiation Q: high permittivity and thin substrates store energy.
+
+        Standard patch scaling: Q_rad ~ (3 eps_r / 16) * (lambda0 / h).
+        """
+        return (
+            3.0
+            * self.material.permittivity
+            / 16.0
+            * self.wavelength_m
+            / self.thickness_m
+        )
+
+    def q_conductor(self) -> float:
+        """Conductor Q ~ h / skin depth (thicker substrate, less loss)."""
+        skin = self.COPPER_SKIN_DEPTH_1GHZ / math.sqrt(self.frequency_hz / 1e9)
+        return self.thickness_m / skin
+
+    def q_dielectric(self) -> float:
+        """Dielectric Q = 1 / tan(delta)."""
+        if self.material.loss_tangent == 0.0:
+            return float("inf")
+        return 1.0 / self.material.loss_tangent
+
+    def matching_loss_factor(self) -> float:
+        """Power fraction surviving the matching network.
+
+        A detuned antenna needs a reactive matching network; with finite
+        component Q the absorbed reactive power is dissipated.  Modelled
+        as ``1 / (1 + Q_rad * detune / Q_match)``: the more of the
+        antenna's reactance the network must cancel, the more it burns.
+        """
+        detune = self.detuning_fraction()
+        return 1.0 / (1.0 + self.q_radiation() * detune / self.matching_network_q)
+
+    def radiation_efficiency(self) -> float:
+        """Fraction of accepted power actually radiated, in (0, 1]."""
+        inv_q_rad = 1.0 / self.q_radiation()
+        inv_q_loss = 1.0 / self.q_conductor() + 1.0 / self.q_dielectric()
+        resonant = inv_q_rad / (inv_q_rad + inv_q_loss)
+        return resonant * self.matching_loss_factor()
+
+    def gain_dbi(self, directivity_dbi: float = 3.0) -> float:
+        """Realised gain: small-patch directivity times efficiency, dBi."""
+        return directivity_dbi + 10.0 * math.log10(self.radiation_efficiency())

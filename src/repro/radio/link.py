@@ -1,0 +1,107 @@
+"""RF link budget: Friis path loss plus the PicoCube's integration losses.
+
+Measured reality from the paper: "+0.8 dBm" out of the PA, "transmitted
+signal strength is about -60 dBm at 1 meter", and "range is about 1 meter
+depending on orientation of the antenna" with the superregenerative demo
+receiver.  Free-space loss at 1.863 GHz over 1 m is only ~38 dB, so the
+measured link implies ~23 dB of additional loss: the electrically-small
+patch's efficiency, the missing ground plane, detuning by the case and
+board stack, and polarisation/orientation mismatch.  The model separates
+these into the antenna model's physics (a few dB) and a documented
+``integration_loss_db`` calibration constant for the rest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..errors import ConfigurationError
+from ..units import SPEED_OF_LIGHT, dbm_to_watts
+from .antenna import PatchAntenna
+
+
+def free_space_path_loss_db(distance_m: float, frequency_hz: float) -> float:
+    """Friis free-space loss, dB (positive)."""
+    if distance_m <= 0.0 or frequency_hz <= 0.0:
+        raise ConfigurationError("distance and frequency must be positive")
+    wavelength = SPEED_OF_LIGHT / frequency_hz
+    return 20.0 * math.log10(4.0 * math.pi * distance_m / wavelength)
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkBudgetResult:
+    """All the terms of one link-budget evaluation, in dB(m)."""
+
+    tx_power_dbm: float
+    tx_antenna_gain_dbi: float
+    integration_loss_db: float
+    path_loss_db: float
+    rx_antenna_gain_dbi: float
+    received_dbm: float
+    sensitivity_dbm: float
+
+    @property
+    def margin_db(self) -> float:
+        """Link margin above receiver sensitivity, dB."""
+        return self.received_dbm - self.sensitivity_dbm
+
+    @property
+    def closes(self) -> bool:
+        """True when the link has non-negative margin."""
+        return self.margin_db >= 0.0
+
+
+class RadioLink:
+    """A TX node / RX bench pair over free space."""
+
+    def __init__(
+        self,
+        tx_antenna: PatchAntenna,
+        tx_power_dbm: float = 0.8,
+        rx_antenna_gain_dbi: float = 0.0,
+        rx_sensitivity_dbm: float = -65.0,
+        integration_loss_db: float = 20.0,
+    ) -> None:
+        if integration_loss_db < 0.0:
+            raise ConfigurationError("integration loss must be >= 0 dB")
+        self.tx_antenna = tx_antenna
+        self.tx_power_dbm = tx_power_dbm
+        self.rx_antenna_gain_dbi = rx_antenna_gain_dbi
+        self.rx_sensitivity_dbm = rx_sensitivity_dbm
+        self.integration_loss_db = integration_loss_db
+
+    def budget(self, distance_m: float) -> LinkBudgetResult:
+        """Evaluate the link at a distance."""
+        path = free_space_path_loss_db(distance_m, self.tx_antenna.frequency_hz)
+        gain_tx = self.tx_antenna.gain_dbi()
+        received = (
+            self.tx_power_dbm
+            + gain_tx
+            - self.integration_loss_db
+            - path
+            + self.rx_antenna_gain_dbi
+        )
+        return LinkBudgetResult(
+            tx_power_dbm=self.tx_power_dbm,
+            tx_antenna_gain_dbi=gain_tx,
+            integration_loss_db=self.integration_loss_db,
+            path_loss_db=path,
+            rx_antenna_gain_dbi=self.rx_antenna_gain_dbi,
+            received_dbm=received,
+            sensitivity_dbm=self.rx_sensitivity_dbm,
+        )
+
+    def received_power_w(self, distance_m: float) -> float:
+        """Received power in watts at a distance."""
+        return dbm_to_watts(self.budget(distance_m).received_dbm)
+
+    def max_range_m(self) -> float:
+        """Distance at which the margin hits zero (free-space scaling)."""
+        at_1m = self.budget(1.0)
+        # Path loss grows 20 dB/decade, so range scales as 10^(margin/20).
+        return 10.0 ** (at_1m.margin_db / 20.0)
+
+    def snr_db(self, distance_m: float, noise_floor_dbm: float = -90.0) -> float:
+        """Signal-to-noise ratio at the receiver input, dB."""
+        return self.budget(distance_m).received_dbm - noise_floor_dbm

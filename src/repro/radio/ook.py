@@ -1,0 +1,99 @@
+"""On-off keying modulation utilities.
+
+"Baseband data is modulated onto the carrier using OOK by power cycling
+the FBAR oscillator and the low power amplifier" (paper §4.6).  The
+modulator turns a bit sequence into the piecewise-constant power segments
+the electrical simulation integrates, and into an envelope waveform the
+demo receiver chain can threshold-detect.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class OokModulator:
+    """Bits <-> carrier on/off timing."""
+
+    def __init__(self, bit_rate: float = 330e3) -> None:
+        if bit_rate <= 0.0:
+            raise ConfigurationError("bit rate must be positive")
+        self.bit_rate = bit_rate
+
+    @property
+    def bit_time(self) -> float:
+        """Duration of one bit, seconds."""
+        return 1.0 / self.bit_rate
+
+    def power_segments(
+        self, bits: Sequence[int], p_on: float
+    ) -> List[Tuple[float, float]]:
+        """Collapse a bit sequence into (duration, watts) run-length segments.
+
+        Consecutive equal bits merge into one segment — this is what keeps
+        the node's power trace compact.
+        """
+        segments: List[Tuple[float, float]] = []
+        for bit in bits:
+            if bit not in (0, 1):
+                raise ConfigurationError(f"bits must be 0/1, got {bit!r}")
+            power = p_on if bit else 0.0
+            if segments and segments[-1][1] == power:
+                segments[-1] = (segments[-1][0] + self.bit_time, power)
+            else:
+                segments.append((self.bit_time, power))
+        return segments
+
+    def envelope(
+        self, bits: Sequence[int], samples_per_bit: int = 8
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sampled baseband envelope (t, amplitude in {0, 1})."""
+        if samples_per_bit < 1:
+            raise ConfigurationError("need at least one sample per bit")
+        bit_array = np.asarray(list(bits), dtype=float)
+        if bit_array.size == 0:
+            raise ConfigurationError("empty bit sequence")
+        if not np.all(np.isin(bit_array, (0.0, 1.0))):
+            raise ConfigurationError("bits must be 0/1")
+        amplitude = np.repeat(bit_array, samples_per_bit)
+        t = np.arange(amplitude.size) * (self.bit_time / samples_per_bit)
+        return t, amplitude
+
+    def demodulate(
+        self,
+        t: np.ndarray,
+        envelope: np.ndarray,
+        n_bits: int,
+        threshold: float = 0.5,
+    ) -> List[int]:
+        """Threshold-detect an envelope back into bits.
+
+        Integrates (averages) each bit window — the energy-detection
+        behaviour of the superregenerative receiver.
+        """
+        if n_bits < 1:
+            raise ConfigurationError("need at least one bit")
+        t = np.asarray(t, dtype=float)
+        envelope = np.asarray(envelope, dtype=float)
+        if t.shape != envelope.shape:
+            raise ConfigurationError("t and envelope must match")
+        t0 = t[0]
+        bits = []
+        for k in range(n_bits):
+            window = (t >= t0 + k * self.bit_time - 1e-12) & (
+                t < t0 + (k + 1) * self.bit_time - 1e-12
+            )
+            if not np.any(window):
+                raise ConfigurationError(f"no samples in bit window {k}")
+            bits.append(1 if float(np.mean(envelope[window])) >= threshold else 0)
+        return bits
+
+    def duration(self, n_bits: int) -> float:
+        """On-air time for ``n_bits``, seconds."""
+        if n_bits < 0:
+            raise ConfigurationError("negative bit count")
+        return n_bits * self.bit_time

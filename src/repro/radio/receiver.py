@@ -1,0 +1,60 @@
+"""Superregenerative receiver model — the demo bench radio (ref [12]).
+
+"a custom-built receiver board using another BWRC research radio as
+receiver" (paper §6): the 400 uW-RX superregenerative transceiver of
+Otis et al.  The model provides what the demo pipeline needs: a power
+figure, a sensitivity, and an OOK bit-error-rate curve (non-coherent
+energy detection) so the receiver chain can decide whether a packet
+survives a given link.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+from ..units import db_to_ratio
+
+
+class SuperregenerativeReceiver:
+    """An OOK energy-detection receiver."""
+
+    def __init__(
+        self,
+        name: str = "superregen-rx",
+        power_active: float = 400e-6,
+        sensitivity_dbm: float = -65.0,
+        max_bit_rate: float = 330e3,
+        v_supply: float = 1.0,
+    ) -> None:
+        if power_active <= 0.0 or v_supply <= 0.0:
+            raise ConfigurationError(f"{name}: power and supply must be positive")
+        if max_bit_rate <= 0.0:
+            raise ConfigurationError(f"{name}: bit rate must be positive")
+        self.name = name
+        self.power_active = power_active
+        self.sensitivity_dbm = sensitivity_dbm
+        self.max_bit_rate = max_bit_rate
+        self.v_supply = v_supply
+
+    def bit_error_rate(self, snr_db: float) -> float:
+        """Non-coherent OOK BER: 0.5 exp(-SNR/2) (energy detection)."""
+        snr = db_to_ratio(snr_db)
+        return 0.5 * math.exp(-snr / 2.0)
+
+    def packet_success_probability(self, snr_db: float, n_bits: int) -> float:
+        """Probability all ``n_bits`` decode correctly (independent errors)."""
+        if n_bits < 0:
+            raise ConfigurationError(f"{self.name}: negative bit count")
+        ber = self.bit_error_rate(snr_db)
+        return (1.0 - ber) ** n_bits
+
+    def can_hear(self, received_dbm: float) -> bool:
+        """True when the received level is above sensitivity."""
+        return received_dbm >= self.sensitivity_dbm
+
+    def listen_energy(self, duration: float) -> float:
+        """Energy to keep the receiver listening, joules."""
+        if duration < 0.0:
+            raise ConfigurationError(f"{self.name}: negative duration")
+        return self.power_active * duration

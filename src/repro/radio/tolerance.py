@@ -1,0 +1,115 @@
+"""FBAR frequency tolerance and the OOK architecture choice.
+
+FBARs give the PicoCube a Q > 1000 carrier without a crystal PLL — but
+their absolute frequency is set by film thickness, and manufacturing
+spread puts each die's resonance within roughly +-0.1..0.3 % of target
+(thousands of ppm — versus a few ppm for quartz).  At 1.863 GHz that is
+megahertz of TX/RX misalignment.
+
+This is the quiet reason for the paper's architecture: OOK energy
+detection with a *wide* superregenerative receiver tolerates carrier
+offset that would strand any narrowband scheme.  The model quantifies it:
+given a TX and RX frequency distribution and a receiver bandwidth, what
+fraction of randomly paired links actually work?
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List
+
+from ..errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class ToleranceStudy:
+    """Link yield under frequency spread for one receiver bandwidth."""
+
+    rx_bandwidth_hz: float
+    trials: int
+    working: int
+
+    @property
+    def link_yield(self) -> float:
+        """Fraction of random TX/RX pairs whose carrier lands in band."""
+        return self.working / self.trials if self.trials else 0.0
+
+
+class FrequencyToleranceModel:
+    """Manufacturing spread of FBAR carriers vs. receiver acceptance."""
+
+    def __init__(
+        self,
+        carrier_hz: float = 1.863e9,
+        fbar_sigma_ppm: float = 1000.0,
+        trim_residual_ppm: float = 0.0,
+        seed: int = 2008,
+    ) -> None:
+        if carrier_hz <= 0.0 or fbar_sigma_ppm < 0.0 or trim_residual_ppm < 0.0:
+            raise ConfigurationError("invalid tolerance parameters")
+        self.carrier_hz = carrier_hz
+        self.fbar_sigma_ppm = fbar_sigma_ppm
+        self.trim_residual_ppm = trim_residual_ppm
+        self._rng = random.Random(seed)
+
+    @property
+    def effective_sigma_ppm(self) -> float:
+        """Post-trim spread: trimming (if any) caps the raw sigma."""
+        if self.trim_residual_ppm > 0.0:
+            return min(self.fbar_sigma_ppm, self.trim_residual_ppm)
+        return self.fbar_sigma_ppm
+
+    def sample_carrier(self) -> float:
+        """One die's actual carrier frequency, Hz."""
+        offset_ppm = self._rng.gauss(0.0, self.effective_sigma_ppm)
+        return self.carrier_hz * (1.0 + offset_ppm * 1e-6)
+
+    def sigma_hz(self) -> float:
+        """One-die frequency sigma in hertz (1000 ppm ~ 1.9 MHz here)."""
+        return self.carrier_hz * self.effective_sigma_ppm * 1e-6
+
+    def link_yield(
+        self, rx_bandwidth_hz: float, trials: int = 5000
+    ) -> ToleranceStudy:
+        """Monte-Carlo pairing of TX dies against RX dies.
+
+        A link works when the TX carrier falls inside the RX's acceptance
+        window (centred on the RX die's own offset carrier — the receiver
+        is built from the same spread parts).
+        """
+        if rx_bandwidth_hz <= 0.0:
+            raise ConfigurationError("rx bandwidth must be positive")
+        if trials < 1:
+            raise ConfigurationError("need at least one trial")
+        working = 0
+        half = rx_bandwidth_hz / 2.0
+        for _ in range(trials):
+            tx = self.sample_carrier()
+            rx = self.sample_carrier()
+            if abs(tx - rx) <= half:
+                working += 1
+        return ToleranceStudy(
+            rx_bandwidth_hz=rx_bandwidth_hz, trials=trials, working=working
+        )
+
+    def bandwidth_for_yield(
+        self, target_yield: float = 0.99, trials: int = 3000
+    ) -> float:
+        """Receiver bandwidth needed for a target link yield (bisection)."""
+        if not 0.0 < target_yield < 1.0:
+            raise ConfigurationError("target yield outside (0, 1)")
+        lo, hi = 1e3, 1e9
+        for _ in range(40):
+            mid = (lo * hi) ** 0.5
+            if self.link_yield(mid, trials).link_yield >= target_yield:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def sweep(
+        self, bandwidths_hz: List[float], trials: int = 5000
+    ) -> List[ToleranceStudy]:
+        """Link yield across a receiver-bandwidth sweep."""
+        return [self.link_yield(bw, trials) for bw in bandwidths_hz]

@@ -1,0 +1,106 @@
+"""Wake-up radio model (paper §7.3, ref [16]).
+
+"This radio contains an extremely low-power receiver that listens
+full-time for a wake-up signal, then starts a more complex (and more power
+hungry) receiver for data transfer."
+
+The experiment this enables (E14): compare three ways for a node to be
+reachable —
+
+1. **Always-on main RX** — the 400 uW superregenerative receiver runs
+   continuously: simple, instant, ruinous for a 6 uW node.
+2. **Duty-cycled main RX** — wake every ``t_period`` and listen for
+   ``t_listen``: average power scales with duty, latency with the period.
+3. **Wake-up radio** — a ~50 uW detector listens continuously and starts
+   the main RX only on demand: near-zero latency at a fixed small cost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import ConfigurationError
+from .receiver import SuperregenerativeReceiver
+
+
+class WakeupRadio:
+    """An always-on low-power wake-up detector."""
+
+    def __init__(
+        self,
+        name: str = "wakeup-rx",
+        power_listening: float = 50e-6,
+        sensitivity_dbm: float = -50.0,
+        wakeup_latency: float = 1e-3,
+        false_wakeups_per_hour: float = 1.0,
+    ) -> None:
+        if power_listening <= 0.0 or wakeup_latency < 0.0:
+            raise ConfigurationError(f"{name}: invalid power or latency")
+        if false_wakeups_per_hour < 0.0:
+            raise ConfigurationError(f"{name}: false-wakeup rate must be >= 0")
+        self.name = name
+        self.power_listening = power_listening
+        self.sensitivity_dbm = sensitivity_dbm
+        self.wakeup_latency = wakeup_latency
+        self.false_wakeups_per_hour = false_wakeups_per_hour
+
+    def average_power(
+        self,
+        main_rx: SuperregenerativeReceiver,
+        wakeups_per_hour: float,
+        session_duration: float,
+    ) -> float:
+        """Mean power with real plus false wake-ups, watts."""
+        if wakeups_per_hour < 0.0 or session_duration < 0.0:
+            raise ConfigurationError(f"{self.name}: invalid workload")
+        sessions = wakeups_per_hour + self.false_wakeups_per_hour
+        main_rx_energy_per_hour = sessions * main_rx.power_active * session_duration
+        return self.power_listening + main_rx_energy_per_hour / 3600.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ReachabilityOption:
+    """One strategy's cost/latency point for the E14 comparison."""
+
+    strategy: str
+    average_power: float
+    worst_case_latency: float
+
+
+def compare_reachability(
+    main_rx: SuperregenerativeReceiver,
+    wakeup: WakeupRadio,
+    duty_cycle_period: float = 1.0,
+    listen_window: float = 5e-3,
+    wakeups_per_hour: float = 4.0,
+    session_duration: float = 50e-3,
+) -> list:
+    """Evaluate the three reachability strategies.
+
+    Returns :class:`ReachabilityOption` rows: always-on, duty-cycled (at
+    the given period/window), and wake-up radio.
+    """
+    if duty_cycle_period <= 0.0 or not 0.0 < listen_window <= duty_cycle_period:
+        raise ConfigurationError("need 0 < listen_window <= duty_cycle_period")
+    session_power_per_hour = (
+        wakeups_per_hour * main_rx.power_active * session_duration / 3600.0
+    )
+    always_on = ReachabilityOption(
+        strategy="always-on-rx",
+        average_power=main_rx.power_active,
+        worst_case_latency=0.0,
+    )
+    duty = listen_window / duty_cycle_period
+    duty_cycled = ReachabilityOption(
+        strategy="duty-cycled-rx",
+        average_power=main_rx.power_active * duty + session_power_per_hour,
+        worst_case_latency=duty_cycle_period,
+    )
+    wakeup_based = ReachabilityOption(
+        strategy="wakeup-radio",
+        average_power=wakeup.average_power(
+            main_rx, wakeups_per_hour, session_duration
+        ),
+        worst_case_latency=wakeup.wakeup_latency,
+    )
+    return [always_on, duty_cycled, wakeup_based]

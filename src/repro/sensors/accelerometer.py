@@ -1,0 +1,73 @@
+"""SCA3000-E01 three-axis accelerometer model (VTI, paper §4.5-§6).
+
+"The second sensor board contains a single packaged accelerometer
+(SCA3000-E01-10).  This device, 7x7 mm, just barely fits within the
+placement boundary."  Its demo-friendly trick (§6): "for each axis, a
+threshold can be set that, when exceeded, causes an interrupt to the
+controller" — motion-detection mode, which lets the cube sleep on the
+table and wake in a visitor's hand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigurationError
+from .base import SampleTiming, Sensor
+from .environment import MotionEnvironment
+
+FOOTPRINT_MM = (7.0, 7.0)
+"""Package size — 'just barely fits' the 7.2 x 7.2 mm placement area."""
+
+
+class Sca3000(Sensor):
+    """The SCA3000 in motion-detection mode with measurement bursts."""
+
+    CHANNELS = ["accel_x_g", "accel_y_g", "accel_z_g"]
+
+    def __init__(
+        self,
+        name: str = "sca3000",
+        i_motion_detect: float = 10e-6,
+        i_measure: float = 120e-6,
+        settle_s: float = 1.0e-3,
+        conversion_s_per_channel: float = 0.3e-3,
+        threshold_g: float = 0.3,
+    ) -> None:
+        super().__init__(
+            name,
+            channels=list(self.CHANNELS),
+            i_sleep=i_motion_detect,
+            i_measure=i_measure,
+            timing=SampleTiming(settle_s, conversion_s_per_channel),
+        )
+        if threshold_g <= 0.0:
+            raise ConfigurationError(f"{name}: threshold must be positive")
+        self.threshold_g = threshold_g
+
+    def set_threshold(self, threshold_g: float) -> None:
+        """Program the per-axis motion threshold."""
+        if threshold_g <= 0.0:
+            raise ConfigurationError(f"{self.name}: threshold must be positive")
+        self.threshold_g = threshold_g
+
+    def read(self, environment: MotionEnvironment, time_s: float) -> Dict[str, float]:
+        """Measure the three axes from the motion environment."""
+        if not isinstance(environment, MotionEnvironment):
+            raise ConfigurationError(
+                f"{self.name}: expected a MotionEnvironment, got "
+                f"{type(environment).__name__}"
+            )
+        x, y, z = environment.acceleration_g(time_s)
+        return {"accel_x_g": x, "accel_y_g": y, "accel_z_g": z}
+
+    def interrupt_times(
+        self, environment: MotionEnvironment, t_end: float
+    ) -> List[float]:
+        """Times the motion-threshold interrupt would fire before t_end."""
+        return environment.threshold_crossings(self.threshold_g, t_end)
+
+    @staticmethod
+    def footprint_mm() -> Tuple[float, float]:
+        """Package footprint for placement checks, millimetres."""
+        return FOOTPRINT_MM

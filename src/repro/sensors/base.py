@@ -1,0 +1,97 @@
+"""Sensor interface.
+
+A PicoCube sensor board owns: supply-current states (sleep / standby /
+measuring), sampling timing (settle + conversion), a channel list, and —
+crucially for the interrupt-driven node — a wake mechanism (the TPMS die's
+six-second timer, or the accelerometer's motion threshold).
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Dict, List
+
+from ..errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class SampleTiming:
+    """Time structure of one measurement."""
+
+    settle_s: float
+    conversion_s_per_channel: float
+
+    def __post_init__(self) -> None:
+        if self.settle_s < 0.0 or self.conversion_s_per_channel < 0.0:
+            raise ConfigurationError("sample timing must be non-negative")
+
+    def total(self, channels: int) -> float:
+        """Wall time to measure ``channels`` channels, seconds."""
+        if channels < 1:
+            raise ConfigurationError("need at least one channel")
+        return self.settle_s + channels * self.conversion_s_per_channel
+
+
+class Sensor(abc.ABC):
+    """A sensor board with quasi-static supply states."""
+
+    def __init__(
+        self,
+        name: str,
+        channels: List[str],
+        i_sleep: float,
+        i_measure: float,
+        timing: SampleTiming,
+        v_min: float = 2.1,
+        v_max: float = 3.6,
+    ) -> None:
+        if not channels:
+            raise ConfigurationError(f"{name}: need at least one channel")
+        if i_sleep < 0.0 or i_measure <= 0.0:
+            raise ConfigurationError(f"{name}: invalid supply currents")
+        if i_sleep > i_measure:
+            raise ConfigurationError(f"{name}: sleep current exceeds measure")
+        self.name = name
+        self.channels = list(channels)
+        self.i_sleep = i_sleep
+        self.i_measure = i_measure
+        self.timing = timing
+        self.v_min = v_min
+        self.v_max = v_max
+        self.measuring = False
+        self.samples_taken = 0
+
+    def current(self) -> float:
+        """Supply current in the present state, amperes."""
+        return self.i_measure if self.measuring else self.i_sleep
+
+    def sample_duration(self) -> float:
+        """Wall time for one full measurement, seconds."""
+        return self.timing.total(len(self.channels))
+
+    def sample_energy(self, v_dd: float) -> float:
+        """Energy of one measurement at a supply voltage, joules."""
+        self.check_supply(v_dd)
+        return v_dd * self.i_measure * self.sample_duration()
+
+    def check_supply(self, v_dd: float) -> None:
+        """Validate the supply voltage against the device window."""
+        if not self.v_min <= v_dd <= self.v_max:
+            raise ConfigurationError(
+                f"{self.name}: VDD {v_dd:.2f} V outside "
+                f"[{self.v_min}, {self.v_max}] V"
+            )
+
+    @abc.abstractmethod
+    def read(self, environment, time_s: float) -> Dict[str, float]:
+        """Measure all channels from an environment model at a time."""
+
+    def begin_sample(self) -> None:
+        """Enter the measuring state."""
+        self.measuring = True
+
+    def end_sample(self) -> None:
+        """Return to sleep."""
+        self.measuring = False
+        self.samples_taken += 1

@@ -1,0 +1,170 @@
+"""Physical environment models the sensors measure.
+
+Two scenarios from the paper: the tire (pressure/temperature/acceleration
+as the car drives — §4.5's SP12 board) and the desk demo (a cube picked up
+and waved around at the BWRC retreat — §6's SCA3000 board).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..units import STANDARD_GRAVITY, celsius_to_kelvin, psi_to_pascals
+
+
+class TireEnvironment:
+    """Pressure/temperature/acceleration inside a rolling tire.
+
+    Physics kept honest but simple:
+
+    * temperature rises with sustained speed (flexing losses) toward an
+      equilibrium above ambient;
+    * pressure follows temperature isochorically (Gay-Lussac) from the
+      cold-fill condition;
+    * radial acceleration at the rim is ``v^2 / r`` — tens to hundreds of
+      g at highway speed, which is what the harvester and the sensor's
+      accelerometer both see.
+    """
+
+    def __init__(
+        self,
+        cold_pressure_psi: float = 32.0,
+        ambient_c: float = 20.0,
+        wheel_radius_m: float = 0.30,
+        temp_rise_per_kmh: float = 0.18,
+        warmup_tau_s: float = 600.0,
+    ) -> None:
+        if cold_pressure_psi <= 0.0 or wheel_radius_m <= 0.0:
+            raise ConfigurationError("pressure and radius must be positive")
+        if warmup_tau_s <= 0.0:
+            raise ConfigurationError("warm-up time constant must be positive")
+        self.cold_pressure_psi = cold_pressure_psi
+        self.ambient_c = ambient_c
+        self.wheel_radius_m = wheel_radius_m
+        self.temp_rise_per_kmh = temp_rise_per_kmh
+        self.warmup_tau_s = warmup_tau_s
+        self.speed_kmh = 0.0
+        self._temperature_c = ambient_c
+
+    def set_speed_kmh(self, kmh: float) -> None:
+        """Set the current vehicle speed."""
+        if kmh < 0.0:
+            raise ConfigurationError("speed must be >= 0")
+        self.speed_kmh = kmh
+
+    def advance(self, dt_seconds: float) -> None:
+        """Relax tire temperature toward the speed's equilibrium."""
+        if dt_seconds < 0.0:
+            raise ConfigurationError("dt must be >= 0")
+        target = self.ambient_c + self.temp_rise_per_kmh * self.speed_kmh
+        alpha = 1.0 - math.exp(-dt_seconds / self.warmup_tau_s)
+        self._temperature_c += (target - self._temperature_c) * alpha
+
+    @property
+    def temperature_c(self) -> float:
+        """Current tire air temperature, Celsius."""
+        return self._temperature_c
+
+    @property
+    def pressure_psi(self) -> float:
+        """Current pressure from the cold-fill condition, psi."""
+        cold_k = celsius_to_kelvin(self.ambient_c)
+        now_k = celsius_to_kelvin(self._temperature_c)
+        return self.cold_pressure_psi * now_k / cold_k
+
+    @property
+    def pressure_pa(self) -> float:
+        """Current pressure, pascals."""
+        return psi_to_pascals(self.pressure_psi)
+
+    @property
+    def radial_acceleration_g(self) -> float:
+        """Centripetal acceleration at the rim, in g."""
+        v = self.speed_kmh / 3.6
+        return v**2 / self.wheel_radius_m / STANDARD_GRAVITY
+
+    def leak(self, delta_psi: float) -> None:
+        """Simulate a slow leak (drops the cold-fill pressure)."""
+        if delta_psi < 0.0:
+            raise ConfigurationError("leak must be >= 0")
+        self.cold_pressure_psi = max(self.cold_pressure_psi - delta_psi, 0.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class MotionInterval:
+    """A time window in which the demo cube is being handled."""
+
+    start_s: float
+    end_s: float
+    peak_g: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise ConfigurationError("motion interval must have positive length")
+        if self.peak_g <= 0.0:
+            raise ConfigurationError("peak acceleration must be positive")
+
+
+class MotionEnvironment:
+    """The retreat-demo script: intervals of handling, stillness between.
+
+    "If the Cube is sitting motionless on a table it is in deep sleep
+    mode. ...  When picked up and moved around, it generates sample data.
+    If held still or placed on the table, the plotting stops." (paper §6)
+    """
+
+    def __init__(
+        self, intervals: Sequence[MotionInterval], wobble_hz: float = 2.0
+    ) -> None:
+        ordered = sorted(intervals, key=lambda iv: iv.start_s)
+        for a, b in zip(ordered, ordered[1:]):
+            if b.start_s < a.end_s:
+                raise ConfigurationError("motion intervals overlap")
+        if wobble_hz <= 0.0:
+            raise ConfigurationError("wobble frequency must be positive")
+        self.intervals: Tuple[MotionInterval, ...] = tuple(ordered)
+        self.wobble_hz = wobble_hz
+
+    def is_moving(self, time_s: float) -> bool:
+        """True while the cube is being handled."""
+        return any(iv.start_s <= time_s < iv.end_s for iv in self.intervals)
+
+    def acceleration_g(self, time_s: float) -> Tuple[float, float, float]:
+        """(x, y, z) acceleration in g, gravity included on z."""
+        for iv in self.intervals:
+            if iv.start_s <= time_s < iv.end_s:
+                phase = 2.0 * math.pi * self.wobble_hz * (time_s - iv.start_s)
+                return (
+                    iv.peak_g * math.sin(phase),
+                    iv.peak_g * math.cos(phase) * 0.6,
+                    1.0 + iv.peak_g * math.sin(phase * 0.7) * 0.3,
+                )
+        return (0.0, 0.0, 1.0)
+
+    def threshold_crossings(
+        self, threshold_g: float, t_end: float, resolution_s: float = 0.05
+    ) -> List[float]:
+        """Times where |accel - rest| first exceeds a threshold.
+
+        This is the sensor's motion-interrupt schedule: one event per
+        entry into a moving interval (assuming the wobble exceeds the
+        threshold), which is how the demo wakes the node.
+        """
+        if threshold_g <= 0.0 or t_end <= 0.0 or resolution_s <= 0.0:
+            raise ConfigurationError("invalid threshold scan parameters")
+        crossings = []
+        above = False
+        steps = int(t_end / resolution_s)
+        for k in range(steps + 1):
+            t = k * resolution_s
+            x, y, z = self.acceleration_g(t)
+            magnitude = math.sqrt(x**2 + y**2 + (z - 1.0) ** 2)
+            if magnitude > threshold_g and not above:
+                crossings.append(t)
+                above = True
+            elif magnitude <= threshold_g:
+                above = False
+        return crossings

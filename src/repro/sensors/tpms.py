@@ -1,0 +1,68 @@
+"""SP12 tire-pressure-monitoring sensor model (Sensonor, paper §4.5).
+
+"This device has sensors for tire pressure, temperature, acceleration,
+and supply voltage.  ...  The digital die generates an interrupt every six
+seconds — between events, only an internal timer is running and the
+MSP430 controller is in deep sleep mode.  The interrupt initiates a
+sample/format/transmit cycle that takes about 14 ms."
+
+Two dies, modeled as one component: the analog die (the four channels)
+and the digital die (the 6 s wake timer, which is the node's heartbeat).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import ConfigurationError
+from .base import SampleTiming, Sensor
+from .environment import TireEnvironment
+
+WAKE_PERIOD_S = 6.0
+"""The SP12 digital die's hardwired interrupt period."""
+
+
+class Sp12Tpms(Sensor):
+    """The chip-on-board SP12 with its quad-channel analog die."""
+
+    CHANNELS = ["pressure_psi", "temperature_c", "acceleration_g", "supply_v"]
+
+    def __init__(
+        self,
+        name: str = "sp12-tpms",
+        i_sleep: float = 0.3e-6,    # digital die timer only
+        i_measure: float = 0.45e-3,  # analog die + ADC active
+        settle_s: float = 4.0e-3,
+        conversion_s_per_channel: float = 1.3e-3,
+        wake_period_s: float = WAKE_PERIOD_S,
+    ) -> None:
+        if wake_period_s <= 0.0:
+            raise ConfigurationError(f"{name}: wake period must be positive")
+        super().__init__(
+            name,
+            channels=list(self.CHANNELS),
+            i_sleep=i_sleep,
+            i_measure=i_measure,
+            timing=SampleTiming(settle_s, conversion_s_per_channel),
+        )
+        self.wake_period_s = wake_period_s
+        self.supply_voltage = 2.1
+
+    def read(self, environment: TireEnvironment, time_s: float) -> Dict[str, float]:
+        """Measure the four channels from the tire environment."""
+        if not isinstance(environment, TireEnvironment):
+            raise ConfigurationError(
+                f"{self.name}: expected a TireEnvironment, got "
+                f"{type(environment).__name__}"
+            )
+        return {
+            "pressure_psi": environment.pressure_psi,
+            "temperature_c": environment.temperature_c,
+            "acceleration_g": environment.radial_acceleration_g,
+            "supply_v": self.supply_voltage,
+        }
+
+    def set_supply_reading(self, v_dd: float) -> None:
+        """Feed the rail voltage the supply-voltage channel reports."""
+        self.check_supply(v_dd)
+        self.supply_voltage = v_dd

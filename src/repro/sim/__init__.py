@@ -1,0 +1,41 @@
+"""Discrete-event simulation substrate.
+
+Exports the engine, event utilities, step-function traces with exact
+integration, periodic timers, generator processes, and the multi-channel
+power recorder used by every electrical model in the package.
+"""
+
+from .clock import PeriodicTimer
+from .export import recorder_to_csv, trace_to_csv, write_csv
+from .engine import Engine
+from .events import (
+    Event,
+    EventHandle,
+    PRIORITY_MEASURE,
+    PRIORITY_NORMAL,
+    PRIORITY_SUPPLY,
+    make_repeating,
+)
+from .process import Process, Signal, spawn
+from .recorder import PowerRecorder
+from .trace import StepTrace, sum_traces
+
+__all__ = [
+    "Engine",
+    "Event",
+    "EventHandle",
+    "PeriodicTimer",
+    "PowerRecorder",
+    "Process",
+    "Signal",
+    "StepTrace",
+    "make_repeating",
+    "spawn",
+    "recorder_to_csv",
+    "sum_traces",
+    "trace_to_csv",
+    "write_csv",
+    "PRIORITY_SUPPLY",
+    "PRIORITY_NORMAL",
+    "PRIORITY_MEASURE",
+]

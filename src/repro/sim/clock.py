@@ -1,0 +1,74 @@
+"""Periodic timer helper built on the event engine.
+
+The PicoCube contains two important periodic processes: the TPMS digital
+die's six-second wake interrupt, and the trickle-charge housekeeping of the
+storage model.  :class:`PeriodicTimer` packages the schedule/fire/reschedule
+loop with start/stop control and drift-free absolute-time arithmetic (the
+k-th tick lands at exactly ``start + k * period``, not at an accumulation of
+float additions).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import ConfigurationError
+from .engine import Engine
+from .events import EventHandle, PRIORITY_NORMAL
+
+
+class PeriodicTimer:
+    """Fires a callback every ``period`` seconds until stopped."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        period: float,
+        callback: Callable[[], None],
+        name: str = "timer",
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        if period <= 0.0:
+            raise ConfigurationError(f"timer {name!r} period must be > 0, got {period}")
+        self._engine = engine
+        self.period = float(period)
+        self._callback = callback
+        self.name = name
+        self._priority = priority
+        self._handle: Optional[EventHandle] = None
+        self._epoch = 0.0
+        self._tick = 0
+        self.fired_count = 0
+
+    @property
+    def running(self) -> bool:
+        """True while the timer has a pending tick."""
+        return self._handle is not None and self._handle.pending
+
+    def start(self, first_delay: Optional[float] = None) -> None:
+        """Arm the timer; first tick after ``first_delay`` (default: period)."""
+        if self.running:
+            raise ConfigurationError(f"timer {self.name!r} is already running")
+        delay = self.period if first_delay is None else first_delay
+        self._epoch = self._engine.now + delay
+        self._tick = 0
+        self._handle = self._engine.schedule(
+            delay, self._fire, name=self.name, priority=self._priority
+        )
+
+    def stop(self) -> None:
+        """Disarm the timer (idempotent)."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self.fired_count += 1
+        self._tick += 1
+        # Reschedule before running the callback so the callback may stop()
+        # the timer and have that stick.
+        next_time = self._epoch + self._tick * self.period
+        self._handle = self._engine.schedule_at(
+            next_time, self._fire, name=self.name, priority=self._priority
+        )
+        self._callback()

@@ -1,0 +1,113 @@
+"""Event primitives for the discrete-event engine.
+
+An :class:`Event` is a callback bound to a simulation time.  Events are
+totally ordered by ``(time, priority, sequence)`` so that simultaneous
+events fire in a deterministic order: first by explicit priority, then by
+scheduling order.  Determinism matters here — the power-profile benchmarks
+diff their output against golden series, so two runs of the same scenario
+must produce byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+# Priorities for simultaneous events.  Lower fires first.
+PRIORITY_SUPPLY = 0
+"""Supply/rail bookkeeping runs before loads see the new state."""
+
+PRIORITY_NORMAL = 10
+"""Default priority for component behaviour."""
+
+PRIORITY_MEASURE = 20
+"""Probes and recorders run last so they observe the settled state."""
+
+
+@dataclasses.dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Instances are ordered by ``(time, priority, sequence)``; ``callback``
+    and the bookkeeping fields are excluded from comparison.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[[], None] = dataclasses.field(compare=False)
+    name: str = dataclasses.field(compare=False, default="")
+    cancelled: bool = dataclasses.field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark this event so the engine skips it when popped.
+
+        Cancellation is O(1); the dead entry stays in the heap until its
+        time comes and is then discarded.
+        """
+        self.cancelled = True
+
+
+@dataclasses.dataclass
+class EventHandle:
+    """Opaque handle returned by :meth:`Engine.schedule`.
+
+    Keeps the underlying event private so callers can only cancel, not
+    mutate, a pending event.
+    """
+
+    _event: Event
+
+    @property
+    def time(self) -> float:
+        """Absolute simulation time the event will fire at."""
+        return self._event.time
+
+    @property
+    def name(self) -> str:
+        """Debug label given at scheduling time."""
+        return self._event.name
+
+    @property
+    def pending(self) -> bool:
+        """True while the event has neither fired nor been cancelled."""
+        return not self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self._event.cancel()
+
+
+def make_repeating(
+    schedule: Callable[..., "EventHandle"],
+    period: float,
+    callback: Callable[[], None],
+    name: str = "",
+    priority: int = PRIORITY_NORMAL,
+    first_delay: Optional[float] = None,
+) -> Callable[[], None]:
+    """Build a self-rescheduling callback and schedule its first firing.
+
+    Returns a ``stop`` function that cancels the chain.  This is the
+    engine-agnostic core of periodic behaviour (sensor wake timers, trickle
+    charge pulses); most callers use :class:`repro.sim.clock.PeriodicTimer`
+    which wraps this with nicer bookkeeping.
+    """
+    state = {"handle": None, "stopped": False}
+
+    def fire() -> None:
+        if state["stopped"]:
+            return
+        callback()
+        if not state["stopped"]:
+            state["handle"] = schedule(period, fire, name=name, priority=priority)
+
+    def stop() -> None:
+        state["stopped"] = True
+        handle = state["handle"]
+        if handle is not None:
+            handle.cancel()
+
+    initial = period if first_delay is None else first_delay
+    state["handle"] = schedule(initial, fire, name=name, priority=priority)
+    return stop

@@ -1,0 +1,179 @@
+"""Piecewise-constant signal traces with exact integration.
+
+Electrical quantities in this simulator (rail power, battery current,
+harvester output) only change at discrete events, so they are exactly
+representable as step functions.  :class:`StepTrace` records the breakpoints
+and supports exact time integrals — the 6 µW average-power headline number
+comes out of ``trace.integral() / trace.duration()`` with no quadrature
+error.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import SimulationError
+
+
+class StepTrace:
+    """A right-continuous step function of simulation time.
+
+    ``set(t, v)`` declares that the signal equals ``v`` from time ``t``
+    until the next breakpoint.  Times must be non-decreasing; setting the
+    same time twice overwrites (last write wins), which is what a supply
+    rail wants when several loads switch in the same instant.
+    """
+
+    def __init__(self, name: str = "", initial: float = 0.0, start_time: float = 0.0):
+        self.name = name
+        self._times: List[float] = [float(start_time)]
+        self._values: List[float] = [float(initial)]
+
+    # -- recording ---------------------------------------------------------
+
+    def set(self, time: float, value: float) -> None:
+        """Record that the signal becomes ``value`` at ``time``."""
+        time = float(time)
+        last = self._times[-1]
+        if time < last:
+            raise SimulationError(
+                f"trace {self.name!r}: time {time} precedes last breakpoint {last}"
+            )
+        if time == last:
+            self._values[-1] = float(value)
+            # Collapse a redundant breakpoint that now repeats its
+            # predecessor's value, keeping traces minimal.
+            if len(self._values) >= 2 and self._values[-2] == self._values[-1]:
+                self._times.pop()
+                self._values.pop()
+            return
+        if value == self._values[-1]:
+            return  # no change; keep the trace compact
+        self._times.append(time)
+        self._values.append(float(value))
+
+    def add(self, time: float, delta: float) -> None:
+        """Increment the current value by ``delta`` at ``time``."""
+        self.set(time, self._values[-1] + delta)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def start_time(self) -> float:
+        """Time of the first breakpoint."""
+        return self._times[0]
+
+    @property
+    def last_time(self) -> float:
+        """Time of the most recent breakpoint."""
+        return self._times[-1]
+
+    @property
+    def current(self) -> float:
+        """Value after the most recent breakpoint."""
+        return self._values[-1]
+
+    def value_at(self, time: float) -> float:
+        """Signal value at ``time`` (right-continuous lookup)."""
+        if time < self._times[0]:
+            raise SimulationError(
+                f"trace {self.name!r}: query at {time} precedes start {self._times[0]}"
+            )
+        index = bisect.bisect_right(self._times, time) - 1
+        return self._values[index]
+
+    def breakpoints(self) -> List[Tuple[float, float]]:
+        """The ``(time, value)`` pairs defining the step function."""
+        return list(zip(self._times, self._values))
+
+    def integral(self, start: float = None, end: float = None) -> float:
+        """Exact integral of the step function over ``[start, end]``.
+
+        Defaults to the full recorded span.  For a power trace this is the
+        energy in joules; for a current trace, the charge in coulombs.
+        """
+        if start is None:
+            start = self._times[0]
+        if end is None:
+            end = self._times[-1]
+        if end < start:
+            raise SimulationError(f"integral bounds reversed: [{start}, {end}]")
+        if end == start:
+            return 0.0
+        total = 0.0
+        # Walk segments overlapping [start, end].
+        first = max(0, bisect.bisect_right(self._times, start) - 1)
+        for i in range(first, len(self._times)):
+            seg_start = max(self._times[i], start)
+            seg_end = end if i + 1 >= len(self._times) else min(self._times[i + 1], end)
+            if seg_end <= seg_start:
+                if self._times[i] > end:
+                    break
+                continue
+            total += self._values[i] * (seg_end - seg_start)
+        return total
+
+    def mean(self, start: float = None, end: float = None) -> float:
+        """Time-average of the signal over ``[start, end]``."""
+        if start is None:
+            start = self._times[0]
+        if end is None:
+            end = self._times[-1]
+        if end <= start:
+            raise SimulationError(f"mean needs a positive span, got [{start}, {end}]")
+        return self.integral(start, end) / (end - start)
+
+    def maximum(self, start: float = None, end: float = None) -> float:
+        """Maximum value attained on ``[start, end]``."""
+        return max(v for _, v in self._segments_overlapping(start, end))
+
+    def minimum(self, start: float = None, end: float = None) -> float:
+        """Minimum value attained on ``[start, end]``."""
+        return min(v for _, v in self._segments_overlapping(start, end))
+
+    def sample(self, times: Sequence[float]) -> List[float]:
+        """Sample the step function at each time in ``times``."""
+        return [self.value_at(t) for t in times]
+
+    def _segments_overlapping(
+        self, start: float = None, end: float = None
+    ) -> Iterable[Tuple[float, float]]:
+        if start is None:
+            start = self._times[0]
+        if end is None:
+            end = self._times[-1]
+        first = max(0, bisect.bisect_right(self._times, start) - 1)
+        for i in range(first, len(self._times)):
+            if self._times[i] > end:
+                break
+            yield self._times[i], self._values[i]
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"StepTrace({self.name!r}, {len(self._times)} breakpoints, "
+            f"current={self._values[-1]:g})"
+        )
+
+
+def sum_traces(traces: Sequence[StepTrace], name: str = "sum") -> StepTrace:
+    """Pointwise sum of several step traces as a new trace.
+
+    Used to build a total-node power trace from per-component traces for
+    the Fig 6 style stacked profile.
+    """
+    if not traces:
+        raise SimulationError("sum_traces needs at least one trace")
+    start = min(t.start_time for t in traces)
+    times = sorted({bp for trace in traces for bp, _ in trace.breakpoints()})
+    out = StepTrace(name=name, initial=0.0, start_time=start)
+    for time in times:
+        total = 0.0
+        for trace in traces:
+            if time >= trace.start_time:
+                total += trace.value_at(time)
+        out.set(time, total)
+    return out

@@ -1,0 +1,123 @@
+"""Common interface for energy-storage buffers.
+
+The PicoCube's storage argument (paper §4.4) compares three technologies on
+four axes: gravimetric energy density (220 J/g NiMH vs 10 J/g supercap vs
+2 J/g capacitor), voltage profile versus state of charge (flat for NiMH,
+linear for capacitors), burst-current capability (capacitors win), and
+charge-control complexity (NiMH trickle-charges at C/10 with no
+controller).  Every storage model exposes exactly those axes so the E7
+benchmark can regenerate the comparison table.
+
+Charge bookkeeping is in coulombs; the terminal voltage under load is
+``ocv(soc) - i * r_internal`` (discharge positive).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..errors import StorageError
+
+
+class EnergyStorage(abc.ABC):
+    """A charge reservoir with an OCV curve and internal resistance."""
+
+    def __init__(self, name: str, capacity_coulombs: float, mass_grams: float):
+        if capacity_coulombs <= 0.0:
+            raise StorageError(f"{name}: capacity must be positive")
+        if mass_grams <= 0.0:
+            raise StorageError(f"{name}: mass must be positive")
+        self.name = name
+        self.capacity_coulombs = capacity_coulombs
+        self.mass_grams = mass_grams
+        self._charge = capacity_coulombs  # start full
+
+    # -- state of charge ----------------------------------------------------
+
+    @property
+    def charge(self) -> float:
+        """Stored charge, coulombs."""
+        return self._charge
+
+    @property
+    def soc(self) -> float:
+        """State of charge in [0, 1]."""
+        return self._charge / self.capacity_coulombs
+
+    def set_soc(self, soc: float) -> None:
+        """Set the state of charge directly (initial conditions)."""
+        if not 0.0 <= soc <= 1.0:
+            raise StorageError(f"{self.name}: soc {soc} outside [0, 1]")
+        self._charge = soc * self.capacity_coulombs
+
+    # -- electrical behaviour ----------------------------------------------------
+
+    @abc.abstractmethod
+    def open_circuit_voltage(self) -> float:
+        """OCV at the current state of charge, volts."""
+
+    @abc.abstractmethod
+    def internal_resistance(self) -> float:
+        """Series resistance at the current state of charge, ohms."""
+
+    def terminal_voltage(self, discharge_current: float = 0.0) -> float:
+        """Voltage at the terminals under load (discharge positive), volts."""
+        return self.open_circuit_voltage() - discharge_current * self.internal_resistance()
+
+    def max_burst_current(self, v_min: float) -> float:
+        """Largest discharge current keeping the terminal above ``v_min``."""
+        headroom = self.open_circuit_voltage() - v_min
+        if headroom <= 0.0:
+            return 0.0
+        return headroom / self.internal_resistance()
+
+    # -- charge movement -----------------------------------------------------------
+
+    def discharge(self, coulombs: float) -> float:
+        """Remove charge; returns the charge actually delivered.
+
+        Raises :class:`StorageError` on attempts to discharge below empty —
+        a brownout the caller should have prevented.
+        """
+        if coulombs < 0.0:
+            raise StorageError(f"{self.name}: negative discharge {coulombs}")
+        if coulombs > self._charge + 1e-15:
+            raise StorageError(
+                f"{self.name}: discharge of {coulombs:.4g} C exceeds stored "
+                f"{self._charge:.4g} C"
+            )
+        self._charge = max(self._charge - coulombs, 0.0)
+        return coulombs
+
+    def charge_by(self, coulombs: float) -> float:
+        """Add charge; returns the charge actually accepted (clips at full)."""
+        if coulombs < 0.0:
+            raise StorageError(f"{self.name}: negative charge {coulombs}")
+        accepted = min(coulombs, self.capacity_coulombs - self._charge)
+        self._charge += accepted
+        return accepted
+
+    # -- energy metrics -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def stored_energy(self) -> float:
+        """Recoverable energy at the current state of charge, joules."""
+
+    def full_energy(self) -> float:
+        """Energy when completely full, joules."""
+        saved = self._charge
+        self._charge = self.capacity_coulombs
+        try:
+            return self.stored_energy()
+        finally:
+            self._charge = saved
+
+    def energy_density(self) -> float:
+        """Gravimetric energy density, joules per gram."""
+        return self.full_energy() / self.mass_grams
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}({self.name!r}, soc={self.soc:.2f}, "
+            f"v={self.open_circuit_voltage():.3f} V)"
+        )

@@ -1,0 +1,121 @@
+"""Capacitive storage models: supercapacitor and ceramic capacitor.
+
+The paper's storage comparison (§4.4): "capacitor energy density is
+considerably lower than that of battery technologies; for example, 220 J/g
+for a NiMH battery vs. 10 J/g for a super capacitor or 2 J/g for a typical
+capacitor.  On the other hand, batteries typically exhibit poor burst
+current performance relative to capacitors."
+
+A capacitor's voltage is directly tied to its state of charge
+(``V = Q / C``), which is the inconvenience the paper notes: the
+downstream converters see a 2:1 or worse input swing instead of NiMH's
+flat 1.2 V plateau.
+"""
+
+from __future__ import annotations
+
+from ..errors import StorageError
+from .base import EnergyStorage
+
+
+class CapacitorStorage(EnergyStorage):
+    """An ideal-ish capacitor bank with ESR, used as an energy buffer.
+
+    ``capacity_coulombs`` is the charge between 0 V and ``v_rated``; the
+    usable fraction above ``v_min_usable`` is what a converter can exploit.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacitance: float,
+        v_rated: float,
+        esr: float,
+        mass_grams: float,
+        v_min_usable: float = 0.0,
+    ) -> None:
+        if capacitance <= 0.0 or v_rated <= 0.0:
+            raise StorageError(f"{name}: capacitance and v_rated must be positive")
+        if esr <= 0.0:
+            raise StorageError(f"{name}: esr must be positive")
+        if not 0.0 <= v_min_usable < v_rated:
+            raise StorageError(f"{name}: v_min_usable outside [0, v_rated)")
+        super().__init__(name, capacitance * v_rated, mass_grams)
+        self.capacitance = capacitance
+        self.v_rated = v_rated
+        self.esr = esr
+        self.v_min_usable = v_min_usable
+
+    def open_circuit_voltage(self) -> float:
+        return self._charge / self.capacitance
+
+    def internal_resistance(self) -> float:
+        return self.esr
+
+    def stored_energy(self) -> float:
+        """Total field energy Q^2 / 2C."""
+        return self._charge**2 / (2.0 * self.capacitance)
+
+    def usable_energy(self) -> float:
+        """Energy above the minimum usable voltage, joules."""
+        v_now = self.open_circuit_voltage()
+        if v_now <= self.v_min_usable:
+            return 0.0
+        return 0.5 * self.capacitance * (v_now**2 - self.v_min_usable**2)
+
+    def voltage_swing_ratio(self) -> float:
+        """Rated-to-minimum voltage ratio the downstream converter must absorb."""
+        if self.v_min_usable <= 0.0:
+            return float("inf")
+        return self.v_rated / self.v_min_usable
+
+
+def supercapacitor(
+    name: str = "supercap",
+    capacitance: float = 0.22,
+    v_rated: float = 2.5,
+    esr: float = 30.0,
+    mass_grams: float = None,
+    v_min_usable: float = 0.9,
+) -> CapacitorStorage:
+    """A small EDLC sized like a coin-cell supercap.
+
+    Default mass is chosen to give the paper's ~10 J/g density.
+    """
+    if mass_grams is None:
+        energy = 0.5 * capacitance * v_rated**2
+        mass_grams = energy / 10.0  # 10 J/g
+    return CapacitorStorage(
+        name,
+        capacitance=capacitance,
+        v_rated=v_rated,
+        esr=esr,
+        mass_grams=mass_grams,
+        v_min_usable=v_min_usable,
+    )
+
+
+def ceramic_capacitor(
+    name: str = "ceramic-cap",
+    capacitance: float = 100e-6,
+    v_rated: float = 6.3,
+    esr: float = 0.02,
+    mass_grams: float = None,
+    v_min_usable: float = 0.9,
+) -> CapacitorStorage:
+    """A bulk ceramic/tantalum capacitor bank (bypass-grade storage).
+
+    Default mass gives the paper's ~2 J/g "typical capacitor" density.
+    Note the ESR: milliohms, which is why capacitors win on burst current.
+    """
+    if mass_grams is None:
+        energy = 0.5 * capacitance * v_rated**2
+        mass_grams = energy / 2.0  # 2 J/g
+    return CapacitorStorage(
+        name,
+        capacitance=capacitance,
+        v_rated=v_rated,
+        esr=esr,
+        mass_grams=mass_grams,
+        v_min_usable=v_min_usable,
+    )

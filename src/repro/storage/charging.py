@@ -1,0 +1,121 @@
+"""Charge-control policies between the rectifier and the storage buffer.
+
+The PicoCube's charging story is deliberately minimal: NiMH tolerates C/10
+forever, so the "controller" is just the physics — whatever the rectifier
+produces flows into the cell, and the harvester is sized so the average
+never exceeds C/10 (paper §4.4).  :class:`TrickleCharger` makes that
+contract explicit and auditable: it clamps the charging current, tracks
+energy wasted in the clamp, and flags violations.
+
+For capacitor storage (no overcharge tolerance at all), use
+:class:`VoltageLimitCharger`, which stops at the rated voltage.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import StorageError
+from .base import EnergyStorage
+from .nimh import NiMHCell
+
+
+@dataclasses.dataclass
+class ChargeReport:
+    """Bookkeeping from one charging interval."""
+
+    coulombs_offered: float
+    coulombs_stored: float
+    coulombs_clamped: float
+    heat_joules: float
+
+
+class TrickleCharger:
+    """C/10 trickle charging for a NiMH cell.
+
+    ``rate_limit_fraction`` expresses the limit as a fraction of capacity
+    per hour: 0.1 is the paper's C/10.
+    """
+
+    def __init__(self, cell: NiMHCell, rate_limit_fraction: float = 0.1) -> None:
+        if not 0.0 < rate_limit_fraction <= 1.0:
+            raise StorageError("rate_limit_fraction must be in (0, 1]")
+        self.cell = cell
+        self.rate_limit_fraction = rate_limit_fraction
+        self.total_clamped_coulombs = 0.0
+        self.total_stored_coulombs = 0.0
+
+    @property
+    def current_limit(self) -> float:
+        """Maximum continuous charge current, amperes."""
+        return self.cell.capacity_coulombs * self.rate_limit_fraction / 3600.0
+
+    def charge(self, current: float, dt_seconds: float) -> ChargeReport:
+        """Apply a charging current for an interval, clamped to the limit.
+
+        Charge above the rate limit is shed (the harvester's excess is
+        simply not extracted); charge above full capacity recombines in the
+        cell as heat — both are reported.
+        """
+        if current < 0.0 or dt_seconds < 0.0:
+            raise StorageError("current and dt must be non-negative")
+        applied = min(current, self.current_limit)
+        offered = current * dt_seconds
+        pushed = applied * dt_seconds
+        before = self.cell.charge
+        heat_before = self.cell.overcharge_heat_joules
+        self.cell.accept_charge(pushed)
+        stored = self.cell.charge - before
+        clamped = offered - pushed
+        self.total_clamped_coulombs += clamped
+        self.total_stored_coulombs += stored
+        return ChargeReport(
+            coulombs_offered=offered,
+            coulombs_stored=stored,
+            coulombs_clamped=clamped,
+            heat_joules=self.cell.overcharge_heat_joules - heat_before,
+        )
+
+    def is_safe_indefinitely(self, current: float) -> bool:
+        """True if ``current`` can be applied forever without damage."""
+        return current <= self.current_limit
+
+
+class VoltageLimitCharger:
+    """Stops charging a capacitor-like buffer at its rated voltage."""
+
+    def __init__(self, storage: EnergyStorage, v_limit: float) -> None:
+        if v_limit <= 0.0:
+            raise StorageError("v_limit must be positive")
+        self.storage = storage
+        self.v_limit = v_limit
+        self.total_shed_coulombs = 0.0
+
+    def charge(self, current: float, dt_seconds: float) -> ChargeReport:
+        """Apply charge until the voltage limit, shedding the remainder."""
+        if current < 0.0 or dt_seconds < 0.0:
+            raise StorageError("current and dt must be non-negative")
+        offered = current * dt_seconds
+        before = self.storage.charge
+        if self.storage.open_circuit_voltage() >= self.v_limit:
+            accepted = 0.0
+        else:
+            accepted = self.storage.charge_by(offered)
+            # charge_by clips at capacity; additionally enforce the voltage
+            # limit for buffers whose rated voltage is below capacity-full.
+            v_now = self.storage.open_circuit_voltage()
+            if v_now > self.v_limit:
+                # For capacitors V is proportional to Q, so the charge at
+                # the limit is charge * v_limit / v_now.
+                excess_q = self.storage.charge * (1.0 - self.v_limit / v_now)
+                rollback = min(excess_q, accepted)
+                self.storage.discharge(rollback)
+                accepted -= rollback
+        shed = offered - accepted
+        self.total_shed_coulombs += shed
+        return ChargeReport(
+            coulombs_offered=offered,
+            coulombs_stored=self.storage.charge - before,
+            coulombs_clamped=shed,
+            heat_joules=0.0,
+        )

@@ -1,0 +1,148 @@
+"""Hybrid buffer: NiMH cell with parallel bypass capacitance (paper §4.4).
+
+"Batteries typically exhibit poor burst current performance relative to
+capacitors.  This can be addressed by using bypass capacitors."
+
+The radio burst asks the 1.2 V rail for ~4 mA, which across the small
+cell's ~1.5 ohm internal resistance sags the rail by several millivolts —
+fine — but a *depleted* cell's resistance is several-fold higher and the
+sag grows into brownout territory.  A bypass capacitor across the
+terminals supplies the transient: during a burst of duration ``t`` the
+capacitor and cell split the current by their impedances, and between
+bursts the cell quietly recharges the capacitor.
+
+The model answers the design questions: how big a capacitor keeps the
+rail sag under a budget for the worst burst, and what does it cost in
+board area (the storage board's filter caps) and leakage.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..errors import StorageError
+from .nimh import NiMHCell
+
+
+@dataclasses.dataclass(frozen=True)
+class BurstAnalysis:
+    """Voltage sag breakdown for one current burst."""
+
+    i_burst: float
+    duration: float
+    sag_unbuffered: float
+    sag_buffered: float
+    cap_share_initial: float
+
+    @property
+    def improvement(self) -> float:
+        """Sag reduction factor (>1 means the capacitor helped)."""
+        if self.sag_buffered <= 0.0:
+            return float("inf")
+        return self.sag_unbuffered / self.sag_buffered
+
+
+class HybridBuffer:
+    """A NiMH cell with a low-ESR bypass capacitor across its terminals."""
+
+    def __init__(
+        self,
+        cell: NiMHCell,
+        bypass_capacitance: float = 47e-6,
+        bypass_esr: float = 0.05,
+        bypass_leakage: float = 50e-9,
+    ) -> None:
+        if bypass_capacitance <= 0.0 or bypass_esr <= 0.0:
+            raise StorageError("bypass capacitance and ESR must be positive")
+        if bypass_leakage < 0.0:
+            raise StorageError("bypass leakage must be >= 0")
+        self.cell = cell
+        self.bypass_capacitance = bypass_capacitance
+        self.bypass_esr = bypass_esr
+        self.bypass_leakage = bypass_leakage
+
+    # -- burst behaviour ------------------------------------------------------
+
+    def analyze_burst(self, i_burst: float, duration: float) -> BurstAnalysis:
+        """Worst-case rail sag with and without the bypass capacitor.
+
+        At burst onset the capacitor (impedance ``ESR``) and the cell
+        (impedance ``R_int``) divide the current; as the capacitor
+        discharges it hands current back to the cell.  The buffered sag is
+        the initial resistive divider sag plus the capacitor droop at the
+        burst's end, whichever instant is worse.
+        """
+        if i_burst <= 0.0 or duration <= 0.0:
+            raise StorageError("burst current and duration must be positive")
+        r_cell = self.cell.internal_resistance()
+        sag_unbuffered = i_burst * r_cell
+        # Current divider at onset.
+        r_cap = self.bypass_esr
+        i_cap0 = i_burst * r_cell / (r_cell + r_cap)
+        sag_onset = i_burst * (r_cell * r_cap) / (r_cell + r_cap)
+        # The capacitor hands off to the cell with time constant
+        # tau = (R_int + ESR) * C; by the end of the burst the cell
+        # carries exp-decayed less of the load.
+        tau = (r_cell + r_cap) * self.bypass_capacitance
+        handoff = 1.0 - math.exp(-duration / tau)
+        sag_end = sag_onset + (sag_unbuffered - sag_onset) * handoff
+        return BurstAnalysis(
+            i_burst=i_burst,
+            duration=duration,
+            sag_unbuffered=sag_unbuffered,
+            sag_buffered=max(sag_onset, sag_end),
+            cap_share_initial=i_cap0 / i_burst,
+        )
+
+    def required_capacitance(
+        self, i_burst: float, duration: float, sag_budget: float
+    ) -> float:
+        """Smallest bypass capacitance meeting a sag budget for a burst.
+
+        Bisection over the burst analysis; raises :class:`StorageError`
+        when no capacitance can meet the budget (the ESR-divider floor is
+        already above it).
+        """
+        if sag_budget <= 0.0:
+            raise StorageError("sag budget must be positive")
+        r_cell = self.cell.internal_resistance()
+        floor = i_burst * (r_cell * self.bypass_esr) / (r_cell + self.bypass_esr)
+        if floor > sag_budget:
+            raise StorageError(
+                f"sag budget {sag_budget * 1e3:.1f} mV unreachable: the ESR "
+                f"divider alone sags {floor * 1e3:.1f} mV"
+            )
+        lo, hi = 1e-9, 1.0
+        original = self.bypass_capacitance
+        try:
+            for _ in range(80):
+                mid = math.sqrt(lo * hi)
+                self.bypass_capacitance = mid
+                sag = self.analyze_burst(i_burst, duration).sag_buffered
+                if sag > sag_budget:
+                    lo = mid
+                else:
+                    hi = mid
+            return hi
+        finally:
+            self.bypass_capacitance = original
+
+    # -- standing cost ------------------------------------------------------------
+
+    def leakage_power(self) -> float:
+        """Always-on cost of the bypass capacitor, watts.
+
+        This is the trade: every component added to tame bursts bleeds
+        the microwatt budget a little.
+        """
+        return self.cell.open_circuit_voltage() * self.bypass_leakage
+
+    def recharge_time(self, fraction: float = 0.99) -> float:
+        """Time for the cell to re-top the capacitor after a burst, s."""
+        if not 0.0 < fraction < 1.0:
+            raise StorageError("fraction must be in (0, 1)")
+        tau = (
+            self.cell.internal_resistance() + self.bypass_esr
+        ) * self.bypass_capacitance
+        return -tau * math.log(1.0 - fraction)

@@ -1,0 +1,173 @@
+"""NiMH cell model — the PicoCube's chosen energy buffer.
+
+"A NiMH battery was chosen for two reasons.  First, its discharge
+characteristics provide a nominal 1.2 V that is stable until just prior to
+full discharge, and 1.2 V is close to optimal for generating the required
+supply voltages.  Second, NiMH can be trickle charged for an indefinite
+period at one-tenth the capacity (C/10) without damage.  This eliminates
+the need for complex charge control circuitry." (paper §4.4)
+
+The model captures the flat discharge plateau (piecewise-linear OCV vs.
+state of charge), state-dependent internal resistance, the C/10 continuous
+overcharge tolerance (excess charge at full recombines to heat, tracked),
+and NiMH's notorious self-discharge.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..errors import StorageError
+from ..units import DAY, mah_to_coulombs
+from .base import EnergyStorage
+
+# Default OCV curve: (state of charge, volts).  Flat 1.2-1.3 V plateau with
+# a knee near empty and a rise approaching full — the shape that makes NiMH
+# "stable until just prior to full discharge".
+DEFAULT_OCV_CURVE: Tuple[Tuple[float, float], ...] = (
+    (0.00, 0.90),
+    (0.02, 1.00),
+    (0.05, 1.10),
+    (0.10, 1.17),
+    (0.20, 1.21),
+    (0.50, 1.25),
+    (0.80, 1.28),
+    (0.95, 1.32),
+    (1.00, 1.40),
+)
+
+
+class NiMHCell(EnergyStorage):
+    """A small NiMH button cell (default: the PicoCube's 15 mAh cell).
+
+    Parameters
+    ----------
+    capacity_mah:
+        Rated capacity, milliamp-hours.
+    mass_grams:
+        Cell mass; the default gives ~220 J/g, the paper's number.
+    r_internal:
+        Mid-charge internal resistance, ohms (small cells are ohm-ish).
+    self_discharge_per_month:
+        Fraction of charge lost per 30 days at open circuit.
+    ocv_curve:
+        Piecewise-linear (soc, volts) points, ascending in soc.
+    """
+
+    def __init__(
+        self,
+        name: str = "nimh-15mah",
+        capacity_mah: float = 15.0,
+        mass_grams: float = 0.31,
+        r_internal: float = 1.5,
+        self_discharge_per_month: float = 0.25,
+        ocv_curve: Sequence[Tuple[float, float]] = DEFAULT_OCV_CURVE,
+    ) -> None:
+        super().__init__(name, mah_to_coulombs(capacity_mah), mass_grams)
+        if r_internal <= 0.0:
+            raise StorageError(f"{name}: r_internal must be positive")
+        if not 0.0 <= self_discharge_per_month < 1.0:
+            raise StorageError(f"{name}: self-discharge fraction invalid")
+        curve = tuple(ocv_curve)
+        if len(curve) < 2 or curve[0][0] != 0.0 or curve[-1][0] != 1.0:
+            raise StorageError(f"{name}: OCV curve must span soc 0..1")
+        if any(b[0] <= a[0] for a, b in zip(curve, curve[1:])):
+            raise StorageError(f"{name}: OCV curve soc values must ascend")
+        self.capacity_mah = capacity_mah
+        self.r_internal_mid = r_internal
+        self.self_discharge_per_month = self_discharge_per_month
+        self.ocv_curve = curve
+        self.overcharge_heat_joules = 0.0
+        self.temperature_c = 25.0
+
+    # -- temperature ------------------------------------------------------------
+
+    def set_temperature(self, celsius: float) -> None:
+        """Set the cell temperature (tires span roughly -40..100 C).
+
+        Two chemistry effects follow: self-discharge roughly doubles per
+        10 C (Arrhenius), and the electrolyte stiffens in the cold,
+        raising internal resistance.
+        """
+        if not -40.0 <= celsius <= 125.0:
+            raise StorageError(
+                f"{self.name}: temperature {celsius} C outside -40..125 C"
+            )
+        self.temperature_c = celsius
+
+    def _self_discharge_acceleration(self) -> float:
+        """Arrhenius-ish rate multiplier vs. the 25 C rating."""
+        return 2.0 ** ((self.temperature_c - 25.0) / 10.0)
+
+    # -- electrical ----------------------------------------------------------
+
+    def open_circuit_voltage(self) -> float:
+        soc = self.soc
+        curve = self.ocv_curve
+        for (s0, v0), (s1, v1) in zip(curve, curve[1:]):
+            if soc <= s1:
+                frac = (soc - s0) / (s1 - s0)
+                return v0 + frac * (v1 - v0)
+        return curve[-1][1]
+
+    def internal_resistance(self) -> float:
+        # Resistance climbs as the cell empties (electrolyte depletion)
+        # and in the cold (electrolyte conductivity falls).
+        soc = self.soc
+        base = self.r_internal_mid
+        if soc < 0.2:
+            base *= 1.0 + 4.0 * (0.2 - soc) / 0.2
+        if self.temperature_c < 25.0:
+            base *= 1.0 + 0.02 * (25.0 - self.temperature_c)
+        return base
+
+    def stored_energy(self) -> float:
+        """Integrate OCV over the remaining charge (trapezoid on the curve)."""
+        total = 0.0
+        soc = self.soc
+        curve = self.ocv_curve
+        for (s0, v0), (s1, v1) in zip(curve, curve[1:]):
+            if s0 >= soc:
+                break
+            s_hi = min(s1, soc)
+            v_hi = v0 + (v1 - v0) * (s_hi - s0) / (s1 - s0)
+            total += 0.5 * (v0 + v_hi) * (s_hi - s0) * self.capacity_coulombs
+        return total
+
+    # -- charging ------------------------------------------------------------------
+
+    @property
+    def trickle_current_limit(self) -> float:
+        """The C/10 rate the cell tolerates indefinitely, amperes."""
+        return self.capacity_coulombs / 10.0 / 3600.0
+
+    def accept_charge(self, coulombs: float) -> float:
+        """Push charge in; overcharge past full recombines to heat.
+
+        Returns the charge actually stored.  Unlike :meth:`charge_by`,
+        overcharge is not an error — that is the point of NiMH trickle
+        charging — but it must respect the C/10 *rate*, which the caller
+        (see :class:`repro.storage.charging.TrickleCharger`) enforces.
+        """
+        if coulombs < 0.0:
+            raise StorageError(f"{self.name}: negative charge {coulombs}")
+        stored = min(coulombs, self.capacity_coulombs - self._charge)
+        overcharge = coulombs - stored
+        self._charge += stored
+        self.overcharge_heat_joules += overcharge * self.open_circuit_voltage()
+        return stored
+
+    def apply_self_discharge(self, dt_seconds: float) -> float:
+        """Leak charge for a time interval; returns coulombs lost.
+
+        Exponential decay calibrated to ``self_discharge_per_month`` at
+        25 C, accelerated/retarded with temperature (x2 per 10 C).
+        """
+        if dt_seconds < 0.0:
+            raise StorageError(f"{self.name}: negative interval {dt_seconds}")
+        month = 30.0 * DAY
+        effective = dt_seconds * self._self_discharge_acceleration()
+        keep = (1.0 - self.self_discharge_per_month) ** (effective / month)
+        lost = self._charge * (1.0 - keep)
+        self._charge -= lost
+        return lost

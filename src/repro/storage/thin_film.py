@@ -1,0 +1,143 @@
+"""Dispenser-printed thin-film battery model (paper §7.2, ongoing work).
+
+"We are developing a low cost, direct write printing method which
+integrates the capacitor and battery micropower system directly on a
+device. ...  Films of 30 to 100 µm of these various materials have been
+printed with little surface roughness.  A great benefit of this approach
+is the ability to design storage to fit the consumer, for example, a
+specific voltage range."
+
+The model is a designer: given an available footprint area, a film
+thickness in the printable 30-100 µm window, and a target voltage (met by
+stacking cells in series), it yields an :class:`EnergyStorage` with
+capacity proportional to electrode volume.  Capacity per area per micron
+is the technology figure of merit.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import StorageError
+from .base import EnergyStorage
+
+PRINTABLE_THICKNESS_MIN = 30e-6
+PRINTABLE_THICKNESS_MAX = 100e-6
+
+
+class ThinFilmCell(EnergyStorage):
+    """One printed electrochemical cell of a given area and film thickness."""
+
+    def __init__(
+        self,
+        name: str,
+        area_m2: float,
+        thickness_m: float,
+        v_nominal: float = 1.5,
+        capacity_coulombs_per_m3: float = 4.0e8,
+        density_g_per_m3: float = 3.0e6,
+        r_area_ohm_m2: float = 0.5e-2,
+    ) -> None:
+        if area_m2 <= 0.0:
+            raise StorageError(f"{name}: area must be positive")
+        # Epsilon absorbs float noise at the window edges (30.0 * 1e-6 vs
+        # 30e-6 differ in the last ulp).
+        if not (PRINTABLE_THICKNESS_MIN - 1e-12 <= thickness_m
+                <= PRINTABLE_THICKNESS_MAX + 1e-12):
+            raise StorageError(
+                f"{name}: thickness {thickness_m * 1e6:.0f} um outside the "
+                f"printable 30-100 um window"
+            )
+        volume = area_m2 * thickness_m
+        capacity = capacity_coulombs_per_m3 * volume
+        mass = density_g_per_m3 * volume
+        super().__init__(name, capacity, mass)
+        self.area_m2 = area_m2
+        self.thickness_m = thickness_m
+        self.v_nominal = v_nominal
+        # Ionic resistance scales with thickness and inversely with area.
+        self.r_internal = (
+            r_area_ohm_m2 / area_m2 * (thickness_m / PRINTABLE_THICKNESS_MIN)
+        )
+
+    def open_circuit_voltage(self) -> float:
+        # Mild slope: 10 % sag across the discharge, flat-ish chemistry.
+        return self.v_nominal * (0.9 + 0.1 * self.soc)
+
+    def internal_resistance(self) -> float:
+        return self.r_internal
+
+    def stored_energy(self) -> float:
+        # Integrate the linear OCV slope over remaining charge.
+        soc = self.soc
+        mean_v = self.v_nominal * (0.9 + 0.05 * soc)
+        return mean_v * self._charge
+
+
+class ThinFilmStack:
+    """A series stack of printed cells hitting a target voltage.
+
+    "design storage to fit the consumer, for example, a specific voltage
+    range" — the designer picks the series count from the target voltage
+    and divides the available footprint between the cells.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        target_voltage: float,
+        footprint_m2: float,
+        thickness_m: float = 60e-6,
+        cell_v_nominal: float = 1.5,
+    ) -> None:
+        if target_voltage <= 0.0 or footprint_m2 <= 0.0:
+            raise StorageError(f"{name}: target voltage and footprint must be positive")
+        self.name = name
+        self.series_count = max(1, math.ceil(target_voltage / cell_v_nominal))
+        cell_area = footprint_m2 / self.series_count
+        self.cells = [
+            ThinFilmCell(
+                f"{name}-cell{i}",
+                area_m2=cell_area,
+                thickness_m=thickness_m,
+                v_nominal=cell_v_nominal,
+            )
+            for i in range(self.series_count)
+        ]
+
+    @property
+    def capacity_coulombs(self) -> float:
+        """Stack capacity = single-cell capacity (series string)."""
+        return min(cell.capacity_coulombs for cell in self.cells)
+
+    def open_circuit_voltage(self) -> float:
+        """Sum of the series cells' OCVs, volts."""
+        return sum(cell.open_circuit_voltage() for cell in self.cells)
+
+    def internal_resistance(self) -> float:
+        """Sum of the series resistances, ohms."""
+        return sum(cell.internal_resistance() for cell in self.cells)
+
+    def stored_energy(self) -> float:
+        """Total stack energy, joules."""
+        return sum(cell.stored_energy() for cell in self.cells)
+
+    def mass_grams(self) -> float:
+        """Total printed mass, grams."""
+        return sum(cell.mass_grams for cell in self.cells)
+
+    def discharge(self, coulombs: float) -> float:
+        """Series string: the same charge flows through every cell."""
+        for cell in self.cells:
+            cell.discharge(coulombs)
+        return coulombs
+
+    def charge_by(self, coulombs: float) -> float:
+        """Charge every cell in the string by the same amount."""
+        accepted = min(
+            cell.capacity_coulombs - cell.charge for cell in self.cells
+        )
+        accepted = min(accepted, coulombs)
+        for cell in self.cells:
+            cell.charge_by(accepted)
+        return accepted

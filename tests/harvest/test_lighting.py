@@ -1,0 +1,100 @@
+"""Tests for indoor lighting schedules and building deployments."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harvest.lighting import BuildingDeployment, LightingSchedule
+from repro.units import DAY, HOUR
+
+
+def test_default_schedule_weekday_hours():
+    schedule = LightingSchedule()
+    monday_noon = 12 * HOUR
+    monday_night = 22 * HOUR
+    assert schedule.is_lit(monday_noon)
+    assert not schedule.is_lit(monday_night)
+
+
+def test_weekend_is_dark():
+    schedule = LightingSchedule()
+    saturday_noon = 5 * DAY + 12 * HOUR
+    sunday_noon = 6 * DAY + 12 * HOUR
+    assert not schedule.is_lit(saturday_noon)
+    assert not schedule.is_lit(sunday_noon)
+
+
+def test_schedule_repeats_weekly():
+    schedule = LightingSchedule()
+    t = 2 * DAY + 10 * HOUR  # Wednesday morning
+    assert schedule.is_lit(t) == schedule.is_lit(t + 7 * DAY)
+
+
+def test_irradiance_levels():
+    schedule = LightingSchedule(irradiance_on=2.0, irradiance_off=0.05)
+    assert schedule.irradiance_at(12 * HOUR) == 2.0
+    assert schedule.irradiance_at(2 * HOUR) == 0.05
+
+
+def test_lit_fraction():
+    schedule = LightingSchedule(on_hour=8.0, off_hour=18.0)
+    assert schedule.lit_fraction() == pytest.approx(50.0 / 168.0)
+
+
+def test_longest_dark_stretch_is_the_weekend():
+    schedule = LightingSchedule(on_hour=8.0, off_hour=18.0)
+    # Friday 18:00 to Monday 08:00 = 62 hours.
+    assert schedule.longest_dark_stretch_s() == pytest.approx(
+        62 * HOUR, rel=0.02
+    )
+
+
+def test_seven_day_schedule_shrinks_dark_stretch():
+    schedule = LightingSchedule(workdays=(0, 1, 2, 3, 4, 5, 6))
+    # Only the 14 h overnight gap remains.
+    assert schedule.longest_dark_stretch_s() == pytest.approx(
+        14 * HOUR, rel=0.02
+    )
+
+
+def test_schedule_validation():
+    with pytest.raises(ConfigurationError):
+        LightingSchedule(on_hour=18.0, off_hour=8.0)
+    with pytest.raises(ConfigurationError):
+        LightingSchedule(workdays=(0, 9))
+    with pytest.raises(ConfigurationError):
+        LightingSchedule(irradiance_on=0.01, irradiance_off=0.02)
+    with pytest.raises(ConfigurationError):
+        LightingSchedule().is_lit(-1.0)
+
+
+def test_deployment_charging_follows_lights():
+    deployment = BuildingDeployment()
+    lit = deployment.charging_current_at(12 * HOUR)      # Monday noon
+    dark = deployment.charging_current_at(2 * HOUR)      # Monday night
+    assert lit > 10.0 * dark
+    assert lit > 0.0
+
+
+def test_deployment_average_income_scales_with_irradiance():
+    dim = BuildingDeployment(schedule=LightingSchedule(irradiance_on=1.0))
+    bright = BuildingDeployment(schedule=LightingSchedule(irradiance_on=4.0))
+    assert bright.average_income_w() > 3.5 * dim.average_income_w()
+
+
+def test_deployment_storage_margin():
+    deployment = BuildingDeployment()
+    margin = deployment.storage_margin(
+        node_power_w=7e-6, battery_energy_j=40.0
+    )
+    # 62 h x 7 uW = 1.56 J vs 40 J stored: ~25x.
+    assert margin == pytest.approx(40.0 / (7e-6 * 62 * HOUR), rel=0.03)
+    assert margin > 20.0
+
+
+def test_deployment_validation():
+    with pytest.raises(ConfigurationError):
+        BuildingDeployment(harvest_efficiency=0.0)
+    with pytest.raises(ConfigurationError):
+        BuildingDeployment(v_battery=-1.0)
+    with pytest.raises(ConfigurationError):
+        BuildingDeployment().storage_margin(0.0, 1.0)

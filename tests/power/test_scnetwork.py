@@ -1,0 +1,133 @@
+"""Tests for the two-phase switched-capacitor network analyzer."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ElectricalError
+from repro.power.scnetwork import PHASE_1, PHASE_2, SCNetwork
+from repro.power.topologies import doubler, step_down_3_to_2
+
+
+def test_doubler_ratio_is_two():
+    analysis = doubler().analyze()
+    assert analysis.ratio == pytest.approx(2.0)
+
+
+def test_doubler_cap_charge_multiplier_is_one():
+    analysis = doubler().analyze()
+    assert analysis.cap_charge_multipliers["c1"] == pytest.approx(1.0, abs=1e-9)
+    assert analysis.cap_multiplier_sum == pytest.approx(1.0)
+
+
+def test_doubler_cap_voltage_is_vin():
+    analysis = doubler().analyze()
+    assert analysis.cap_voltages["c1"] == pytest.approx(1.0)
+
+
+def test_doubler_each_switch_carries_unit_charge():
+    analysis = doubler().analyze()
+    for name, q in analysis.switch_charge_multipliers.items():
+        assert abs(q) == pytest.approx(1.0, abs=1e-9), name
+    assert analysis.switch_multiplier_sum == pytest.approx(4.0)
+
+
+def test_doubler_switch_blocking_voltages_are_vin():
+    analysis = doubler().analyze()
+    for name, v in analysis.switch_blocking_voltages.items():
+        assert v == pytest.approx(1.0, abs=1e-9), name
+
+
+def test_doubler_ssl_impedance_closed_form():
+    analysis = doubler().analyze()
+    # R_SSL = (sum|a_c|)^2 / (C f) = 1 / (C f)
+    assert analysis.r_ssl(1e-9, 1e6) == pytest.approx(1.0 / (1e-9 * 1e6))
+
+
+def test_doubler_fsl_impedance_closed_form():
+    analysis = doubler().analyze()
+    # R_FSL = 2 (sum|a_r|)^2 / G = 32 / G
+    assert analysis.r_fsl(1.0) == pytest.approx(32.0)
+
+
+def test_3_to_2_ratio_is_two_thirds():
+    analysis = step_down_3_to_2().analyze()
+    assert analysis.ratio == pytest.approx(2.0 / 3.0)
+
+
+def test_3_to_2_cap_multipliers_are_one_third():
+    analysis = step_down_3_to_2().analyze()
+    for name in ("c1", "c2"):
+        assert abs(analysis.cap_charge_multipliers[name]) == pytest.approx(
+            1.0 / 3.0, abs=1e-9
+        )
+    assert analysis.cap_multiplier_sum == pytest.approx(2.0 / 3.0)
+
+
+def test_3_to_2_cap_voltages_are_one_third():
+    analysis = step_down_3_to_2().analyze()
+    for name in ("c1", "c2"):
+        assert abs(analysis.cap_voltages[name]) == pytest.approx(1.0 / 3.0, abs=1e-9)
+
+
+def test_duplicate_branch_name_rejected():
+    net = SCNetwork("x")
+    net.add_capacitor("c1", "a", "b")
+    with pytest.raises(ConfigurationError):
+        net.add_switch("c1", "a", "gnd", PHASE_1)
+
+
+def test_self_loop_rejected():
+    net = SCNetwork("x")
+    with pytest.raises(ConfigurationError):
+        net.add_capacitor("c1", "a", "a")
+
+
+def test_bad_phase_rejected():
+    net = SCNetwork("x")
+    with pytest.raises(ConfigurationError):
+        net.add_switch("s1", "a", "b", 3)
+
+
+def test_no_capacitors_rejected():
+    net = SCNetwork("x")
+    net.add_switch("s1", "vin", "vout", PHASE_1)
+    with pytest.raises(ConfigurationError):
+        net.analyze()
+
+
+def test_vin_shorted_to_gnd_rejected():
+    net = doubler()
+    net.add_switch("oops", "vin", "gnd", PHASE_1)
+    with pytest.raises(ElectricalError):
+        net.analyze()
+
+
+def test_charge_conservation_input_output():
+    """Ideal SC converter power balance: q_in = M * q_out (with q_out = 1)."""
+    for build in (doubler, step_down_3_to_2):
+        analysis = build().analyze()
+        assert analysis.input_charge == pytest.approx(analysis.ratio, abs=1e-8)
+
+
+def test_unit_ratio_follower():
+    """A cap alternately across vin and vout acts as a 1:1 converter."""
+    net = SCNetwork("follower")
+    net.add_capacitor("c1", "t", "b")
+    net.add_switch("s1", "t", "vin", PHASE_1)
+    net.add_switch("s2", "b", "gnd", PHASE_1)
+    net.add_switch("s3", "t", "vout", PHASE_2)
+    net.add_switch("s4", "b", "gnd", PHASE_2)
+    analysis = net.analyze()
+    assert analysis.ratio == pytest.approx(1.0)
+    assert abs(analysis.cap_charge_multipliers["c1"]) == pytest.approx(1.0)
+
+
+def test_inverter_ratio_minus_one():
+    """Charge across vin, flip across vout: V_out = -V_in."""
+    net = SCNetwork("inverter")
+    net.add_capacitor("c1", "t", "b")
+    net.add_switch("s1", "t", "vin", PHASE_1)
+    net.add_switch("s2", "b", "gnd", PHASE_1)
+    net.add_switch("s3", "t", "gnd", PHASE_2)
+    net.add_switch("s4", "b", "vout", PHASE_2)
+    analysis = net.analyze()
+    assert analysis.ratio == pytest.approx(-1.0)

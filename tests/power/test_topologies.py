@@ -1,0 +1,153 @@
+"""Tests for the canonical SC topology builders."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.topologies import (
+    all_step_up_families,
+    dickson_step_up,
+    doubler,
+    fibonacci_ratio,
+    fibonacci_step_up,
+    ladder_step_up,
+    series_parallel_step_down,
+    series_parallel_step_up,
+    step_down_3_to_2,
+    step_up_family,
+)
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5])
+def test_series_parallel_step_up_ratio(n):
+    assert series_parallel_step_up(n).analyze().ratio == pytest.approx(float(n))
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5])
+def test_series_parallel_step_down_ratio(n):
+    assert series_parallel_step_down(n).analyze().ratio == pytest.approx(1.0 / n)
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5])
+def test_dickson_ratio(n):
+    assert dickson_step_up(n).analyze().ratio == pytest.approx(float(n))
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_ladder_ratio(n):
+    assert ladder_step_up(n).analyze().ratio == pytest.approx(float(n))
+
+
+@pytest.mark.parametrize("stages,ratio", [(1, 2), (2, 3), (3, 5), (4, 8)])
+def test_fibonacci_ratio_sequence(stages, ratio):
+    assert fibonacci_ratio(stages) == ratio
+    assert fibonacci_step_up(stages).analyze().ratio == pytest.approx(float(ratio))
+
+
+def test_series_parallel_cap_multipliers_all_unity():
+    analysis = series_parallel_step_up(4).analyze()
+    for value in analysis.cap_charge_multipliers.values():
+        assert abs(value) == pytest.approx(1.0, abs=1e-8)
+
+
+def test_series_parallel_caps_rated_at_vin():
+    analysis = series_parallel_step_up(4).analyze()
+    for value in analysis.cap_voltages.values():
+        assert abs(value) == pytest.approx(1.0, abs=1e-8)
+
+
+def test_dickson_caps_rated_at_k_vin():
+    analysis = dickson_step_up(4).analyze()
+    ratings = sorted(abs(v) for v in analysis.cap_voltages.values())
+    assert ratings == pytest.approx([1.0, 2.0, 3.0])
+
+
+def test_dickson_cap_energy_metric_worse_than_series_parallel():
+    n = 5
+    sp = series_parallel_step_up(n).analyze()
+    dickson = dickson_step_up(n).analyze()
+    assert dickson.cap_energy_metric() > sp.cap_energy_metric()
+
+
+def test_ladder_devices_all_rated_at_vin():
+    """The ladder's signature: every cap and switch sees only V_in."""
+    analysis = ladder_step_up(4).analyze()
+    for name, v in analysis.cap_voltages.items():
+        assert abs(v) == pytest.approx(1.0, abs=1e-6), name
+    for name, v in analysis.switch_blocking_voltages.items():
+        assert v <= 1.0 + 1e-6, name
+
+
+def test_ladder_charge_multipliers_grow_with_n():
+    """Charge hops rung-to-rung, so multipliers grow for the ladder."""
+    small = ladder_step_up(2).analyze().cap_multiplier_sum
+    large = ladder_step_up(4).analyze().cap_multiplier_sum
+    assert large > small
+
+
+def test_fibonacci_uses_fewer_caps_for_ratio_5():
+    fib = fibonacci_step_up(3)  # ratio 5 with 3 caps
+    sp = series_parallel_step_up(5)  # ratio 5 with 4 caps
+    assert len(fib.capacitors) == 3
+    assert len(sp.capacitors) == 4
+    assert fib.analyze().ratio == pytest.approx(5.0)
+
+
+def test_doubler_equals_one_stage_everything():
+    """All step-up families degenerate to the same ratio at n=2."""
+    for build in (series_parallel_step_up, dickson_step_up, ladder_step_up):
+        assert build(2).analyze().ratio == pytest.approx(2.0)
+    assert fibonacci_step_up(1).analyze().ratio == pytest.approx(2.0)
+    assert doubler().analyze().ratio == pytest.approx(2.0)
+
+
+def test_step_up_family_dispatch():
+    for name in all_step_up_families():
+        if name == "fibonacci":
+            net = step_up_family(name, 5)
+            assert net.analyze().ratio == pytest.approx(5.0)
+        else:
+            net = step_up_family(name, 3)
+            assert net.analyze().ratio == pytest.approx(3.0)
+
+
+def test_step_up_family_unknown_rejected():
+    with pytest.raises(ConfigurationError):
+        step_up_family("flying-unicorn", 3)
+
+
+def test_fibonacci_cannot_hit_non_fibonacci_ratio():
+    with pytest.raises(ConfigurationError):
+        step_up_family("fibonacci", 4)
+
+
+@pytest.mark.parametrize(
+    "build,arg",
+    [
+        (series_parallel_step_up, 1),
+        (series_parallel_step_down, 1),
+        (dickson_step_up, 0),
+        (ladder_step_up, 1),
+        (fibonacci_step_up, 0),
+    ],
+)
+def test_invalid_sizes_rejected(build, arg):
+    with pytest.raises(ConfigurationError):
+        build(arg)
+
+
+def test_energy_conservation_across_families():
+    """Ideal SC networks are lossless: q_in = M * q_out across families."""
+    networks = [
+        doubler(),
+        step_down_3_to_2(),
+        series_parallel_step_up(4),
+        series_parallel_step_down(3),
+        dickson_step_up(4),
+        ladder_step_up(3),
+        fibonacci_step_up(3),
+    ]
+    for net in networks:
+        analysis = net.analyze()
+        assert analysis.input_charge == pytest.approx(
+            analysis.ratio, abs=1e-7
+        ), net.name

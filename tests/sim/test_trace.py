@@ -1,0 +1,219 @@
+"""Unit and property tests for the step-function traces."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import StepTrace, sum_traces
+
+
+def test_initial_value_and_time():
+    trace = StepTrace("p", initial=2.0, start_time=1.0)
+    assert trace.current == 2.0
+    assert trace.start_time == 1.0
+    assert trace.value_at(1.0) == 2.0
+    assert trace.value_at(100.0) == 2.0
+
+
+def test_set_changes_value_right_continuously():
+    trace = StepTrace("p")
+    trace.set(5.0, 3.0)
+    assert trace.value_at(4.999) == 0.0
+    assert trace.value_at(5.0) == 3.0
+    assert trace.value_at(6.0) == 3.0
+
+
+def test_set_same_time_overwrites():
+    trace = StepTrace("p")
+    trace.set(5.0, 3.0)
+    trace.set(5.0, 7.0)
+    assert trace.value_at(5.0) == 7.0
+    assert len(trace) == 2
+
+
+def test_redundant_set_is_compacted():
+    trace = StepTrace("p", initial=1.0)
+    trace.set(5.0, 1.0)
+    assert len(trace) == 1
+
+
+def test_overwrite_back_to_previous_value_collapses_breakpoint():
+    trace = StepTrace("p", initial=1.0)
+    trace.set(5.0, 3.0)
+    trace.set(5.0, 1.0)
+    assert len(trace) == 1
+    assert trace.value_at(10.0) == 1.0
+
+
+def test_set_in_past_rejected():
+    trace = StepTrace("p")
+    trace.set(5.0, 1.0)
+    with pytest.raises(SimulationError):
+        trace.set(4.0, 2.0)
+
+
+def test_query_before_start_rejected():
+    trace = StepTrace("p", start_time=10.0)
+    with pytest.raises(SimulationError):
+        trace.value_at(5.0)
+
+
+def test_add_increments_current_value():
+    trace = StepTrace("p", initial=1.0)
+    trace.add(2.0, 0.5)
+    trace.add(3.0, -0.25)
+    assert trace.value_at(2.5) == 1.5
+    assert trace.value_at(3.5) == 1.25
+
+
+def test_integral_of_constant():
+    trace = StepTrace("p", initial=2.0)
+    assert trace.integral(0.0, 10.0) == pytest.approx(20.0)
+
+
+def test_integral_of_steps():
+    trace = StepTrace("p", initial=0.0)
+    trace.set(1.0, 5.0)
+    trace.set(3.0, 1.0)
+    # 0*1 + 5*2 + 1*7 over [0, 10]
+    assert trace.integral(0.0, 10.0) == pytest.approx(17.0)
+
+
+def test_integral_partial_window():
+    trace = StepTrace("p", initial=0.0)
+    trace.set(1.0, 5.0)
+    trace.set(3.0, 1.0)
+    # [2, 4]: 5*1 + 1*1
+    assert trace.integral(2.0, 4.0) == pytest.approx(6.0)
+
+
+def test_integral_zero_span():
+    trace = StepTrace("p", initial=2.0)
+    assert trace.integral(4.0, 4.0) == 0.0
+
+
+def test_integral_reversed_bounds_rejected():
+    trace = StepTrace("p")
+    with pytest.raises(SimulationError):
+        trace.integral(5.0, 1.0)
+
+
+def test_mean():
+    trace = StepTrace("p", initial=0.0)
+    trace.set(5.0, 10.0)
+    assert trace.mean(0.0, 10.0) == pytest.approx(5.0)
+
+
+def test_mean_zero_span_rejected():
+    trace = StepTrace("p")
+    with pytest.raises(SimulationError):
+        trace.mean(1.0, 1.0)
+
+
+def test_max_min_over_window():
+    trace = StepTrace("p", initial=1.0)
+    trace.set(1.0, 9.0)
+    trace.set(2.0, 4.0)
+    assert trace.maximum(0.0, 3.0) == 9.0
+    assert trace.minimum(0.0, 3.0) == 1.0
+    assert trace.maximum(1.5, 3.0) == 9.0  # value from t=1 still holds at 1.5
+    assert trace.minimum(2.0, 3.0) == 4.0
+
+
+def test_sample():
+    trace = StepTrace("p", initial=0.0)
+    trace.set(1.0, 2.0)
+    assert trace.sample([0.5, 1.0, 1.5]) == [0.0, 2.0, 2.0]
+
+
+def test_breakpoints_round_trip():
+    trace = StepTrace("p", initial=0.0)
+    trace.set(1.0, 2.0)
+    trace.set(4.0, 3.0)
+    assert trace.breakpoints() == [(0.0, 0.0), (1.0, 2.0), (4.0, 3.0)]
+
+
+def test_sum_traces_pointwise():
+    a = StepTrace("a", initial=1.0)
+    b = StepTrace("b", initial=2.0)
+    a.set(1.0, 5.0)
+    b.set(2.0, 0.0)
+    total = sum_traces([a, b])
+    assert total.value_at(0.5) == 3.0
+    assert total.value_at(1.5) == 7.0
+    assert total.value_at(2.5) == 5.0
+
+
+def test_sum_traces_empty_rejected():
+    with pytest.raises(SimulationError):
+        sum_traces([])
+
+
+def test_sum_traces_with_offset_start_times():
+    a = StepTrace("a", initial=1.0, start_time=0.0)
+    b = StepTrace("b", initial=4.0, start_time=5.0)
+    total = sum_traces([a, b])
+    assert total.value_at(1.0) == 1.0
+    assert total.value_at(6.0) == 5.0
+
+
+# -- property-based tests ----------------------------------------------------
+
+steps = st.lists(
+    st.tuples(
+        st.floats(min_value=0.001, max_value=100.0, allow_nan=False),
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=20,
+)
+
+
+def build(step_list):
+    trace = StepTrace("p", initial=0.0)
+    time = 0.0
+    for dt, value in step_list:
+        time += dt
+        trace.set(time, value)
+    return trace, time
+
+
+@given(steps)
+def test_property_integral_additivity(step_list):
+    """integral(a,c) == integral(a,b) + integral(b,c) for any split."""
+    trace, end = build(step_list)
+    end = end + 1.0
+    mid = end / 2.0
+    whole = trace.integral(0.0, end)
+    split = trace.integral(0.0, mid) + trace.integral(mid, end)
+    assert whole == pytest.approx(split, rel=1e-9, abs=1e-9)
+
+
+@given(steps)
+def test_property_integral_bounded_by_extremes(step_list):
+    """min*T <= integral <= max*T."""
+    trace, end = build(step_list)
+    end = end + 1.0
+    lo = trace.minimum(0.0, end)
+    hi = trace.maximum(0.0, end)
+    integral = trace.integral(0.0, end)
+    assert lo * end - 1e-6 <= integral <= hi * end + 1e-6
+
+
+@given(steps)
+def test_property_mean_between_extremes(step_list):
+    trace, end = build(step_list)
+    end = end + 1.0
+    mean = trace.mean(0.0, end)
+    assert trace.minimum(0.0, end) - 1e-9 <= mean <= trace.maximum(0.0, end) + 1e-9
+
+
+@given(steps, steps)
+def test_property_sum_integral_is_integral_of_sum(list_a, list_b):
+    a, end_a = build(list_a)
+    b, end_b = build(list_b)
+    end = max(end_a, end_b) + 1.0
+    total = sum_traces([a, b])
+    lhs = total.integral(0.0, end)
+    rhs = a.integral(0.0, end) + b.integral(0.0, end)
+    assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-6)

@@ -1,0 +1,53 @@
+"""Keep docs/API.md in sync with the live public API."""
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_api_docs_are_current(tmp_path):
+    """Regenerating the API index must reproduce the committed file."""
+    sys.path.insert(0, str(ROOT / "tools"))
+    try:
+        import gen_api_docs
+    finally:
+        sys.path.pop(0)
+    committed = (ROOT / "docs" / "API.md").read_text(encoding="utf-8")
+    assert gen_api_docs.render() == committed, (
+        "docs/API.md is stale; run `python tools/gen_api_docs.py`"
+    )
+
+
+def test_api_docs_cover_every_package():
+    text = (ROOT / "docs" / "API.md").read_text(encoding="utf-8")
+    for package in ("repro.sim", "repro.power", "repro.storage",
+                    "repro.harvest", "repro.mcu", "repro.radio",
+                    "repro.sensors", "repro.net", "repro.board",
+                    "repro.core"):
+        assert f"## `{package}`" in text
+
+
+def test_generator_runs_as_script():
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "gen_api_docs.py")],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+def test_every_public_symbol_has_a_docstring():
+    """Production bar: no undocumented public API."""
+    sys.path.insert(0, str(ROOT / "tools"))
+    try:
+        import gen_api_docs
+    finally:
+        sys.path.pop(0)
+    undocumented = []
+    for package in gen_api_docs.PACKAGES:
+        _, rows = gen_api_docs.collect(package)
+        for name, kind, _, summary in rows:
+            if kind in ("class", "function") and not summary:
+                undocumented.append(f"{package}.{name}")
+    assert not undocumented, f"missing docstrings: {undocumented}"

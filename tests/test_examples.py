@@ -1,0 +1,52 @@
+"""Smoke tests: every example script must run clean.
+
+The two longest studies (``building_sensor``, ``export_figures``) are
+exercised through their importable pieces elsewhere and skipped here to
+keep the suite fast; every other example runs end-to-end.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "motion_demo.py",
+    "energy_neutral_design.py",
+    "power_ic_design.py",
+    "fleet_density.py",
+    "car_monitor.py",
+    "tpms_deployment.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_example_outputs_contain_verdicts():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "car_monitor.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert "rear-right leak detected:   YES" in result.stdout
+    assert "front-left silence flagged: YES" in result.stdout
+
+
+def test_all_examples_are_listed_somewhere():
+    """Every example on disk is either smoke-tested or known-slow."""
+    known_slow = {"building_sensor.py", "export_figures.py"}
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(FAST_EXAMPLES) | known_slow

@@ -1,0 +1,92 @@
+"""Tests for the unit helpers and constants."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+def test_metric_prefixes():
+    assert units.tera(2.0) == 2e12
+    assert units.giga(1.863) == pytest.approx(1.863e9)
+    assert units.mega(1.0) == 1e6
+    assert units.kilo(330.0) == 330e3
+    assert units.milli(1.35) == pytest.approx(1.35e-3)
+    assert units.micro(6.0) == pytest.approx(6e-6)
+    assert units.nano(18.0) == pytest.approx(18e-9)
+    assert units.pico(1.0) == 1e-12
+
+
+def test_time_constants():
+    assert units.MINUTE == 60.0
+    assert units.HOUR == 3600.0
+    assert units.DAY == 86400.0
+    assert units.WEEK == 7 * 86400.0
+    assert units.YEAR == pytest.approx(365.25 * 86400.0)
+
+
+def test_mah_coulomb_round_trip():
+    assert units.mah_to_coulombs(15.0) == pytest.approx(54.0)
+    assert units.coulombs_to_mah(units.mah_to_coulombs(12.3)) == pytest.approx(12.3)
+
+
+def test_watt_hours_joules():
+    assert units.watt_hours_to_joules(1.0) == 3600.0
+    assert units.joules_to_watt_hours(7200.0) == 2.0
+
+
+def test_dbm_watts_round_trip():
+    assert units.dbm_to_watts(0.0) == pytest.approx(1e-3)
+    assert units.dbm_to_watts(0.8) == pytest.approx(1.2e-3, rel=0.01)
+    assert units.dbm_to_watts(-60.0) == pytest.approx(1e-9)
+    assert units.watts_to_dbm(units.dbm_to_watts(-37.5)) == pytest.approx(-37.5)
+
+
+def test_watts_to_dbm_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        units.watts_to_dbm(0.0)
+    with pytest.raises(ValueError):
+        units.watts_to_dbm(-1.0)
+
+
+def test_db_ratio_round_trip():
+    assert units.db_to_ratio(3.0) == pytest.approx(1.995, rel=1e-3)
+    assert units.ratio_to_db(units.db_to_ratio(-12.0)) == pytest.approx(-12.0)
+    with pytest.raises(ValueError):
+        units.ratio_to_db(0.0)
+
+
+def test_rpm_conversions():
+    assert units.rpm_to_hz(600.0) == 10.0
+    assert units.rpm_to_rad_per_s(60.0) == pytest.approx(2 * math.pi)
+
+
+def test_speed_conversions():
+    assert units.kmh_to_mps(36.0) == 10.0
+    assert units.mps_to_kmh(10.0) == 36.0
+
+
+def test_mils_metres_round_trip():
+    assert units.mils_to_metres(50.0) == pytest.approx(1.27e-3)
+    assert units.metres_to_mils(units.mils_to_metres(70.0)) == pytest.approx(70.0)
+
+
+def test_pressure_conversions():
+    assert units.psi_to_pascals(32.0) == pytest.approx(220632.2, rel=1e-4)
+    assert units.pascals_to_psi(units.psi_to_pascals(28.5)) == pytest.approx(28.5)
+
+
+def test_temperature_conversions():
+    assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+    assert units.kelvin_to_celsius(units.celsius_to_kelvin(85.0)) == 85.0
+
+
+def test_physical_constants():
+    assert units.SPEED_OF_LIGHT == pytest.approx(2.998e8, rel=1e-3)
+    assert units.THERMAL_VOLTAGE_300K == pytest.approx(0.02585, rel=1e-3)
+    assert units.STANDARD_GRAVITY == pytest.approx(9.80665)
+    # Sanity: kT/q at 300 K computed from the base constants.
+    assert units.BOLTZMANN * 300.0 / units.ELEMENTARY_CHARGE == pytest.approx(
+        units.THERMAL_VOLTAGE_300K, rel=1e-3
+    )
