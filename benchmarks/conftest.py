@@ -12,7 +12,19 @@ Run with::
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Sequence
+
+
+def campaign_workers() -> int:
+    """Pool size for the runner-backed benchmarks.
+
+    Campaign results are bit-identical for any worker count (the runner's
+    determinism contract), so this only affects wall time: use the real
+    cores up to a small cap, and stay serial on single-core hosts where a
+    pool is pure overhead.
+    """
+    return min(4, os.cpu_count() or 1)
 
 
 def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:

@@ -14,23 +14,31 @@ largest ratio per capacitor.
 """
 
 import pytest
-from conftest import print_table
+from conftest import campaign_workers, print_table
 
-from repro.power import compare_step_up_topologies
+from repro.campaigns import topology_campaign
 from repro.power.topologies import (
-    all_step_up_families,
     fibonacci_ratio,
     fibonacci_step_up,
     step_up_family,
 )
+from repro.runner import MemoCache
 
 
 def sweep():
-    tables = {}
-    for ratio in (2, 3, 5, 8):
-        tables[ratio] = compare_step_up_topologies(
-            ratio, all_step_up_families()
-        )
+    cache = MemoCache()
+    tables, stats = topology_campaign(
+        ratios=(2, 3, 5, 8), workers=campaign_workers(), cache=cache
+    )
+    # A second pass must be answered entirely from the result cache.
+    tables_again, stats_again = topology_campaign(
+        ratios=(2, 3, 5, 8), workers=campaign_workers(), cache=cache
+    )
+    assert stats_again.cache_hit_rate == 1.0
+    assert {r: [x.family for x in rows] for r, rows in tables_again.items()} == {
+        r: [x.family for x in rows] for r, rows in tables.items()
+    }
+    print(f"\n[runner] {stats.summary()}")
     return tables
 
 

@@ -12,27 +12,30 @@ are the dominant failure, as the paper warns; the shrunk ring demands a
 ~2x tighter fit for the same yield.
 """
 
-from conftest import print_table
+from conftest import campaign_workers, print_table
 
-from repro.board import PadAlignmentModel, monte_carlo_yield, tolerance_for_yield
-from repro.board.pcb import PadRing
+from repro.campaigns import (
+    alignment_model,
+    parallel_tolerance_for_yield,
+    yield_table_campaign,
+)
 
 
 def sweep():
-    current = PadAlignmentModel()
-    shrunk = PadAlignmentModel(
-        ring=PadRing(pads_total=30, pad_length_m=0.7e-3), pad_gap_m=0.35e-3
-    )
+    current = alignment_model("18-pad")
+    shrunk = alignment_model("30-pad")
     tolerances = [0.1e-3, 0.3e-3, 0.5e-3, 0.7e-3, 0.9e-3, 1.2e-3]
-    rows = []
-    for tol in tolerances:
-        now = monte_carlo_yield(current, tol, samples=1500)
-        nxt = monte_carlo_yield(shrunk, tol, samples=1500)
-        rows.append((tol, now, nxt))
+    workers = campaign_workers()
+    rows, stats = yield_table_campaign(tolerances, workers=workers)
     required = {
-        "18-pad (built)": tolerance_for_yield(current, 0.99, samples=800),
-        "30-pad (next rev)": tolerance_for_yield(shrunk, 0.99, samples=800),
+        "18-pad (built)": parallel_tolerance_for_yield(
+            "18-pad", 0.99, samples=800, workers=workers
+        ),
+        "30-pad (next rev)": parallel_tolerance_for_yield(
+            "30-pad", 0.99, samples=800, workers=workers
+        ),
     }
+    print(f"\n[runner] {stats.summary()}")
     return current, shrunk, rows, required
 
 

@@ -14,23 +14,17 @@ architecture implicitly relies on: desynchronisation comes free from
 independent power-up times.
 """
 
-import random
+from conftest import campaign_workers, print_table
 
-from conftest import print_table
-
-from repro.net import FleetChannel, aloha_prediction
+from repro.campaigns import fleet_density_campaign, fleet_task
 
 
 def sweep():
-    rng = random.Random(2008)
-    rows = []
-    for count in (2, 5, 10, 20, 40):
-        staggered = FleetChannel(count).run(300.0)
-        phases = [rng.uniform(0.0, 6.0) for _ in range(count)]
-        scattered = FleetChannel(count, phases=phases).run(300.0)
-        predicted = 1.0 - aloha_prediction(count, 3.2e-4)
-        rows.append((count, staggered, scattered, predicted))
-    clustered = FleetChannel(10, stagger_s=0.0001).run(300.0)
+    rows, stats = fleet_density_campaign(
+        (2, 5, 10, 20, 40), duration_s=300.0, workers=campaign_workers()
+    )
+    clustered = fleet_task((10, None, 0.0001, 300.0))
+    print(f"\n[runner] {stats.summary()}")
     return rows, clustered
 
 

@@ -13,11 +13,9 @@ hot-highway tire costs 2-3x the bench number; harvesting still wins by a
 wide margin exactly where the node runs hottest (driving = harvesting).
 """
 
-from conftest import print_table
+from conftest import campaign_workers, print_table
 
-from repro.core import build_tpms_node
-from repro.sensors import TireEnvironment
-from repro.storage import NiMHCell
+from repro.campaigns import temperature_campaign
 
 CONDITIONS = [
     ("winter, parked (-10 C)", -10.0, 0.0),
@@ -28,29 +26,9 @@ CONDITIONS = [
 ]
 
 
-def warmed_environment(ambient_c: float, speed_kmh: float) -> TireEnvironment:
-    env = TireEnvironment(ambient_c=ambient_c)
-    env.set_speed_kmh(speed_kmh)
-    for _ in range(100):
-        env.advance(60.0)  # reach thermal equilibrium
-    return env
-
-
 def sweep():
-    rows = []
-    for label, ambient, speed in CONDITIONS:
-        env = warmed_environment(ambient, speed)
-        node = build_tpms_node(environment=env)
-        node.environment.set_speed_kmh(speed)
-        node.run(3600.0)
-        cell = NiMHCell()
-        cell.set_soc(0.6)
-        cell.set_temperature(env.temperature_c)
-        lost = cell.apply_self_discharge(3600.0)
-        self_discharge_w = lost * cell.open_circuit_voltage() / 3600.0
-        rows.append(
-            (label, env.temperature_c, node.average_power(), self_discharge_w)
-        )
+    rows, stats = temperature_campaign(CONDITIONS, workers=campaign_workers())
+    print(f"\n[runner] {stats.summary()}")
     return rows
 
 

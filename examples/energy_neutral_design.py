@@ -9,22 +9,12 @@ and a MEMS vibration source (which needs the §7.1 variable-ratio boost
 rectifier to be usable at all).
 """
 
+import os
+
+from repro.campaigns import energy_neutral_campaign
 from repro.core import build_tpms_node
-from repro.harvest import (
-    BicycleWheelHarvester,
-    ElectromagneticShaker,
-    ResonantVibrationHarvester,
-    SolarCladding,
-    TireHarvester,
-)
-from repro.power import BoostRectifier, SynchronousRectifier, relative_to_ideal
-
-
-def harvested_power(harvester, rectifier, v_batt: float) -> float:
-    """Average delivered power through a given rectifier, watts."""
-    waveform = harvester.waveform(harvester.characteristic_duration())
-    result = rectifier.rectify(waveform.t, waveform.v_oc, waveform.r_source, v_batt)
-    return result.power_out
+from repro.harvest import ResonantVibrationHarvester
+from repro.power import BoostRectifier
 
 
 def main() -> None:
@@ -36,35 +26,9 @@ def main() -> None:
     print(f"node demand (measured over 1 h): {demand * 1e6:.2f} uW "
           f"at {v_batt:.2f} V battery\n")
 
-    sync = SynchronousRectifier()
-    boost = BoostRectifier()
-    rows = []
-
-    tire = TireHarvester()
-    for speed in (20.0, 30.0, 50.0, 80.0, 120.0):
-        tire.set_speed_kmh(speed)
-        rows.append((f"tire @ {speed:.0f} km/h", harvested_power(tire, sync, v_batt)))
-
-    bike = BicycleWheelHarvester()
-    for speed in (10.0, 15.0, 25.0):
-        bike.set_speed_kmh(speed)
-        rows.append((f"bicycle @ {speed:.0f} km/h", harvested_power(bike, sync, v_batt)))
-
-    shaker = ElectromagneticShaker()
-    rows.append(("hand shaker @ 5 Hz", harvested_power(shaker, sync, v_batt)))
-
-    solar = SolarCladding()
-    for name, lux in (("office light", 1.0), ("bright indoor", 5.0),
-                      ("overcast sky", 100.0)):
-        solar.set_irradiance(lux)
-        rows.append((f"solar, {name}", solar.output_power()))
-
-    vib = ResonantVibrationHarvester()
-    rows.append(
-        ("MEMS vibration + plain rectifier", harvested_power(vib, sync, v_batt))
-    )
-    rows.append(
-        ("MEMS vibration + boost rectifier", harvested_power(vib, boost, v_batt))
+    # Step 2: fan the harvester catalogue out over the process pool.
+    rows, stats = energy_neutral_campaign(
+        v_batt, workers=min(4, os.cpu_count() or 1)
     )
 
     print(f"{'source':<36} {'harvest':>12} {'vs demand':>10}  verdict")
@@ -73,8 +37,11 @@ def main() -> None:
         ratio = power / demand if demand > 0 else 0.0
         verdict = "SUSTAINS" if ratio >= 1.0 else "starves"
         print(f"{name:<36} {power * 1e6:9.2f} uW {ratio:9.1f}x  {verdict}")
+    print(f"\n[runner] {stats.summary()}")
 
     # The boost-rectifier punchline (paper section 7.1).
+    vib = ResonantVibrationHarvester()
+    boost = BoostRectifier()
     wf = vib.waveform(vib.characteristic_duration())
     print(
         f"\nMEMS source EMF amplitude: {vib.emf_amplitude():.2f} V — below the "

@@ -9,9 +9,10 @@ and measures delivered beacons vs. density — and shows the one failure
 mode to engineer away (synchronised wake-ups).
 """
 
-import random
+import os
 
-from repro.net import FleetChannel, aloha_prediction
+from repro.campaigns import fleet_density_campaign, fleet_task
+from repro.net import aloha_prediction
 
 
 def main() -> None:
@@ -23,22 +24,21 @@ def main() -> None:
     print(f"\n{'nodes':>6} {'phases':<12} {'delivered':>10} {'loss':>8} "
           f"{'ALOHA model':>12}")
 
-    rng = random.Random(2008)
-    for count in (2, 5, 10, 20, 40):
-        staggered = FleetChannel(count).run(300.0)
-        random_fleet = FleetChannel(
-            count, phases=[rng.uniform(0.0, 6.0) for _ in range(count)]
-        ).run(300.0)
-        predicted = 1.0 - aloha_prediction(count, burst_s)
+    workers = min(4, os.cpu_count() or 1)
+    rows, stats = fleet_density_campaign(
+        (2, 5, 10, 20, 40), duration_s=300.0, burst_s=burst_s, workers=workers
+    )
+    for count, staggered, random_fleet, predicted in rows:
         print(f"{count:>6} {'staggered':<12} "
               f"{staggered.delivered:>6}/{staggered.transmitted:<4}"
               f"{staggered.collision_rate:>7.1%} {'-':>12}")
         print(f"{'':>6} {'random':<12} "
               f"{random_fleet.delivered:>6}/{random_fleet.transmitted:<4}"
               f"{random_fleet.collision_rate:>7.1%} {predicted:>11.2%}")
+    print(f"\n[runner] {stats.summary()}")
 
     # The pathological case: everyone powered up in the same millisecond.
-    clustered = FleetChannel(10, stagger_s=0.0001).run(300.0)
+    clustered = fleet_task((10, None, 0.0001, 300.0))
     print(f"\npathological (10 nodes waking within 1 ms): "
           f"{clustered.collision_rate:.0%} loss — synchronised wake-ups "
           "are the one density killer")

@@ -15,6 +15,7 @@ from .tolerances import (
     AlignmentOutcome,
     PadAlignmentModel,
     YieldReport,
+    merge_yield_reports,
     monte_carlo_yield,
     tolerance_for_yield,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "AlignmentOutcome",
     "PadAlignmentModel",
     "YieldReport",
+    "merge_yield_reports",
     "monte_carlo_yield",
     "tolerance_for_yield",
 ]

@@ -147,6 +147,28 @@ def monte_carlo_yield(
     )
 
 
+def merge_yield_reports(reports: "list[YieldReport]") -> YieldReport:
+    """Combine chunked Monte-Carlo reports into one.
+
+    All chunks must share a fit tolerance; counts add.  This is the
+    reduction step of the parallel yield campaign: N seed-independent
+    chunks merged in chunk order give the same report for any worker
+    count.
+    """
+    if not reports:
+        raise ConfigurationError("need at least one report to merge")
+    tolerance = reports[0].fit_tolerance_m
+    if any(r.fit_tolerance_m != tolerance for r in reports):
+        raise ConfigurationError("cannot merge reports at different tolerances")
+    return YieldReport(
+        fit_tolerance_m=tolerance,
+        samples=sum(r.samples for r in reports),
+        ok=sum(r.ok for r in reports),
+        opens=sum(r.opens for r in reports),
+        shorts=sum(r.shorts for r in reports),
+    )
+
+
 def tolerance_for_yield(
     model: PadAlignmentModel,
     target_yield: float = 0.99,

@@ -42,3 +42,7 @@ class PacketError(PicoCubeError):
 
 class GeometryError(PicoCubeError):
     """A physical-design constraint was violated (volume, placement, pads)."""
+
+
+class CampaignError(PicoCubeError):
+    """A parallel experiment campaign failed (worker task errors)."""

@@ -22,6 +22,9 @@ from ..core.config import NodeConfig
 from ..core.node import PicoCube
 from ..sim import Engine
 
+BEACON_PERIOD_S = 6.0
+"""The cube's wake/beacon period: one transmission every six seconds."""
+
 
 @dataclasses.dataclass(frozen=True)
 class AirTimeRecord:
@@ -79,7 +82,7 @@ class FleetChannel:
             self.nodes.append(node)
         # Wake-timer phases: explicit (e.g. random, for ALOHA studies),
         # or a deterministic stagger (clustered if tiny — the worst case).
-        period = 6.0
+        period = BEACON_PERIOD_S
         if phases is not None:
             if len(phases) != node_count:
                 raise ConfigurationError("need one phase per node")
@@ -189,7 +192,9 @@ def density_sweep(
     return results
 
 
-def aloha_prediction(node_count: int, burst_s: float, period_s: float = 6.0) -> float:
+def aloha_prediction(
+    node_count: int, burst_s: float, period_s: float = BEACON_PERIOD_S
+) -> float:
     """Analytic pure-ALOHA success probability for cross-checking.
 
     A burst survives if no other node starts within +-burst_s of it:

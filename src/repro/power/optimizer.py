@@ -299,7 +299,7 @@ def compare_step_up_topologies(
             network = step_up_family(family, ratio)
         except ConfigurationError:
             continue
-        analysis = network.analyze()
+        analysis = network.analyze_cached()
         rows.append(
             TopologyComparison(
                 family=family,

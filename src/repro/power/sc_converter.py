@@ -84,7 +84,7 @@ class SwitchedCapacitorConverter(Converter):
             raise ConfigurationError(f"{name}: need 0 < f_min <= f_max")
         if tau_gate < 0.0 or alpha_bottom_plate < 0.0 or i_controller < 0.0:
             raise ConfigurationError(f"{name}: technology constants must be >= 0")
-        self.analysis: SCAnalysis = network.analyze()
+        self.analysis: SCAnalysis = network.analyze_cached()
         if self.analysis.ratio <= 0.0:
             raise ConfigurationError(
                 f"{name}: only positive conversion ratios supported, "
@@ -287,7 +287,7 @@ def design_for_load(
         raise ConfigurationError("fsl_fraction must be in (0, 1)")
     if i_load_max <= 0.0 or margin <= 0.0:
         raise ConfigurationError("i_load_max and margin must be positive")
-    analysis = network.analyze()
+    analysis = network.analyze_cached()
     v_ideal = analysis.ratio * v_in
     if v_ideal <= v_target:
         raise ConfigurationError(

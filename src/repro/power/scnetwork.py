@@ -38,6 +38,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from ..errors import ConfigurationError, ElectricalError
+from ..runner.cache import MemoCache
 
 GND = "gnd"
 VIN = "vin"
@@ -47,6 +48,15 @@ PHASE_1 = 1
 PHASE_2 = 2
 
 _RESIDUAL_TOL = 1e-9
+
+ANALYSIS_CACHE = MemoCache(maxsize=512)
+"""Process-wide memo of solved networks, keyed by circuit signature.
+
+The SSL/FSL analysis is pure linear algebra over the branch lists, so
+identical circuits (however named) share one solution.  Topology sweeps
+and bisections re-analyse the same few networks constantly; the cache's
+hit rate is reported in campaign metrics via ``ANALYSIS_CACHE.stats``.
+"""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -207,7 +217,28 @@ class SCNetwork:
                     ordered.append(node)
         return ordered
 
+    def signature(self) -> Tuple:
+        """Hashable electrical identity of the circuit (name excluded).
+
+        Two networks with the same branch lists analyse identically, so
+        the signature is the memoization key for :meth:`analyze_cached`.
+        """
+        return (
+            tuple(self.capacitors),
+            tuple(self.switches),
+        )
+
     # -- analysis -------------------------------------------------------------
+
+    def analyze_cached(self) -> SCAnalysis:
+        """Like :meth:`analyze`, memoized on the circuit signature.
+
+        Safe because :class:`SCAnalysis` is frozen and the signature
+        captures every input of the solve.  Use the plain :meth:`analyze`
+        when mutating a network between solves within one construction
+        scope (nothing in this package does).
+        """
+        return ANALYSIS_CACHE.get_or_compute(self.signature(), self.analyze)
 
     def analyze(self) -> SCAnalysis:
         """Solve the periodic steady state of the network.

@@ -88,7 +88,7 @@ class VariableRatioConverter(Converter):
         self.gears: List[SwitchedCapacitorConverter] = []
         networks = list(networks) if networks is not None else standard_gearbox()
         for network in networks:
-            ratio = network.analyze().ratio
+            ratio = network.analyze_cached().ratio
             if ratio <= 0.0:
                 continue
             # The gear is usable where M * v_in exceeds the target with

@@ -1,0 +1,136 @@
+"""Memoization cache for expensive pure analyses.
+
+Sweep campaigns repeatedly evaluate pure functions on a small set of
+distinct inputs: the E16 topology comparison solves the same SC network's
+SSL/FSL linear algebra for every ratio x family pair, and a bisection
+(``tolerance_for_yield``) revisits converged operating points.  A
+:class:`MemoCache` keyed on hashable arguments makes the second visit
+free and reports its hit rate so campaign metrics can show how much work
+memoization saved.
+
+The cache is per-process.  Pool workers each hold their own copy, which
+is the right trade for cheap-to-hash, expensive-to-compute analyses; the
+runner's own result cache (:class:`repro.runner.pool.Sweep` with
+``cache=``) covers the cross-campaign case in the parent process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Optional
+
+from ..errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of a cache's effectiveness."""
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class MemoCache:
+    """A bounded, thread-safe memoization cache with hit/miss accounting.
+
+    Eviction is least-recently-used when ``maxsize`` is set; unbounded
+    otherwise (analysis result sets in this package are small).
+    """
+
+    def __init__(self, maxsize: Optional[int] = None) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ConfigurationError(f"maxsize must be >= 1, got {maxsize}")
+        self._maxsize = maxsize
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing it on first use.
+
+        ``compute`` runs outside the lock, so a slow analysis does not
+        serialise unrelated lookups; a rare duplicate computation of the
+        same key is accepted in exchange.
+        """
+        with self._lock:
+            if key in self._data:
+                self._hits += 1
+                self._data.move_to_end(key)
+                return self._data[key]
+            self._misses += 1
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def peek(self, key: Hashable) -> tuple:
+        """``(hit, value)`` without computing; counts as a lookup."""
+        with self._lock:
+            if key in self._data:
+                self._hits += 1
+                self._data.move_to_end(key)
+                return True, self._data[key]
+            self._misses += 1
+            return False, None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store a value, evicting the least-recently-used past maxsize."""
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            if self._maxsize is not None:
+                while len(self._data) > self._maxsize:
+                    self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._data.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Current hit/miss counts."""
+        with self._lock:
+            return CacheStats(hits=self._hits, misses=self._misses, size=len(self._data))
+
+
+def memoize(fn: Callable = None, *, maxsize: Optional[int] = None) -> Callable:
+    """Decorator: memoize a pure function of hashable arguments.
+
+    The wrapped function gains ``.cache`` (the :class:`MemoCache`) so
+    callers can read ``fn.cache.stats`` or ``fn.cache.clear()``.
+    """
+
+    def wrap(func: Callable) -> Callable:
+        cache = MemoCache(maxsize=maxsize)
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            key = (args, tuple(sorted(kwargs.items())))
+            return cache.get_or_compute(key, lambda: func(*args, **kwargs))
+
+        wrapper.cache = cache
+        return wrapper
+
+    if fn is not None:
+        return wrap(fn)
+    return wrap

@@ -39,6 +39,9 @@ class Engine:
         self._sequence = 0
         self._running = False
         self._events_fired = 0
+        # Live (scheduled, not yet fired or cancelled) event count,
+        # maintained on schedule/cancel/pop so pending_count is O(1).
+        self._live = 0
 
     # -- inspection --------------------------------------------------------
 
@@ -54,8 +57,8 @@ class Engine:
 
     @property
     def pending_count(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of not-yet-cancelled events in the queue (O(1))."""
+        return self._live
 
     def next_event_time(self) -> Optional[float]:
         """Time of the earliest live pending event, or None if idle."""
@@ -103,8 +106,10 @@ class Engine:
             sequence=self._sequence,
             callback=callback,
             name=name,
+            on_cancel=self._note_cancelled,
         )
         self._sequence += 1
+        self._live += 1
         heapq.heappush(self._heap, event)
         return EventHandle(event)
 
@@ -125,6 +130,10 @@ class Engine:
             )
         self._now = event.time
         self._events_fired += 1
+        self._live -= 1
+        # Mark fired before the callback runs so a callback cancelling its
+        # own handle cannot double-decrement the live counter.
+        event.fired = True
         event.callback()
         return True
 
@@ -137,8 +146,9 @@ class Engine:
         ``end_time`` even if the queue drained early, which lets callers
         integrate quiescent power across idle tails.
 
-        ``max_events`` guards against runaway zero-delay loops; exceeding
-        it raises :class:`SimulationError`.
+        ``max_events`` guards against runaway zero-delay loops: exactly
+        ``max_events`` callbacks fire, and :class:`SimulationError` is
+        raised only if another event remains due within the window.
         """
         if end_time < self._now:
             raise SchedulingError(
@@ -153,29 +163,42 @@ class Engine:
                 self._drop_cancelled_head()
                 if not self._heap or self._heap[0].time > end_time:
                     break
-                self.step()
-                fired += 1
-                if max_events is not None and fired > max_events:
+                if max_events is not None and fired >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events} before t={end_time}; "
                         "likely a zero-delay event loop"
                     )
+                self.step()
+                fired += 1
             self._now = float(end_time)
         finally:
             self._running = False
 
     def run_to_completion(self, max_events: int = 1_000_000) -> None:
-        """Run until the event queue is empty."""
+        """Run until the event queue is empty.
+
+        Same ``max_events`` semantics as :meth:`run_until`: exactly
+        ``max_events`` callbacks fire before the guard trips.
+        """
         fired = 0
-        while self.step():
-            fired += 1
-            if fired > max_events:
+        while True:
+            self._drop_cancelled_head()
+            if not self._heap:
+                break
+            if fired >= max_events:
                 raise SimulationError(
                     f"exceeded max_events={max_events}; likely an event loop"
                 )
+            self.step()
+            fired += 1
 
     # -- internals ---------------------------------------------------------
 
+    def _note_cancelled(self) -> None:
+        self._live -= 1
+
     def _drop_cancelled_head(self) -> None:
+        # Cancelled events were already removed from the live count at
+        # cancel time; this only sheds the dead heap entries.
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)

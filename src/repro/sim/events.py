@@ -38,14 +38,24 @@ class Event:
     callback: Callable[[], None] = dataclasses.field(compare=False)
     name: str = dataclasses.field(compare=False, default="")
     cancelled: bool = dataclasses.field(compare=False, default=False)
+    fired: bool = dataclasses.field(compare=False, default=False)
+    on_cancel: Optional[Callable[[], None]] = dataclasses.field(
+        compare=False, default=None, repr=False
+    )
 
     def cancel(self) -> None:
         """Mark this event so the engine skips it when popped.
 
         Cancellation is O(1); the dead entry stays in the heap until its
-        time comes and is then discarded.
+        time comes and is then discarded.  Cancelling an event that has
+        already fired (or was already cancelled) is a no-op, so the
+        engine's live-event accounting stays exact.
         """
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self.on_cancel is not None:
+            self.on_cancel()
 
 
 @dataclasses.dataclass
@@ -71,7 +81,7 @@ class EventHandle:
     @property
     def pending(self) -> bool:
         """True while the event has neither fired nor been cancelled."""
-        return not self._event.cancelled
+        return not self._event.cancelled and not self._event.fired
 
     def cancel(self) -> None:
         """Prevent the event from firing (idempotent)."""

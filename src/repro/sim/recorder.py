@@ -49,14 +49,24 @@ class PowerRecorder:
     # -- aggregates --------------------------------------------------------------
 
     def energy(self, name: str, start: float = None, end: float = None) -> float:
-        """Energy (J) consumed on one channel over ``[start, end]``."""
+        """Energy (J) consumed on one channel over ``[start, end]``.
+
+        Channels are created lazily at first record and draw 0 W before
+        that, so the window is clamped to the channel's recorded span: the
+        portion of ``[start, end]`` before the first record contributes
+        zero energy by definition, not by silent truncation.
+        """
         if name not in self._channels:
             raise SimulationError(f"no channel named {name!r}")
         trace = self._channels[name]
-        return trace.integral(
-            trace.start_time if start is None else start,
-            self._engine.now if end is None else end,
-        )
+        lo = trace.start_time if start is None else float(start)
+        hi = self._engine.now if end is None else float(end)
+        if hi < lo:
+            raise SimulationError(f"energy bounds reversed: [{lo}, {hi}]")
+        lo = max(lo, trace.start_time)
+        if hi <= lo:
+            return 0.0
+        return trace.integral(lo, hi)
 
     def total_energy(self, start: float = None, end: float = None) -> float:
         """Energy (J) summed over all channels."""

@@ -11,6 +11,8 @@ error.
 from __future__ import annotations
 
 import bisect
+import heapq
+import itertools
 from typing import Iterable, List, Sequence, Tuple
 
 from ..errors import SimulationError
@@ -29,18 +31,24 @@ class StepTrace:
         self.name = name
         self._times: List[float] = [float(start_time)]
         self._values: List[float] = [float(initial)]
+        # High-water mark of times ever passed to set().  The compaction in
+        # set() may pop the last breakpoint, so _times[-1] can move
+        # *backwards*; validating against it alone would let a later call
+        # rewrite a window that was already recorded.
+        self._frontier: float = float(start_time)
 
     # -- recording ---------------------------------------------------------
 
     def set(self, time: float, value: float) -> None:
         """Record that the signal becomes ``value`` at ``time``."""
         time = float(time)
-        last = self._times[-1]
-        if time < last:
+        if time < self._frontier:
             raise SimulationError(
-                f"trace {self.name!r}: time {time} precedes last breakpoint {last}"
+                f"trace {self.name!r}: time {time} precedes last recorded "
+                f"time {self._frontier}"
             )
-        if time == last:
+        self._frontier = time
+        if time == self._times[-1]:
             self._values[-1] = float(value)
             # Collapse a redundant breakpoint that now repeats its
             # predecessor's value, keeping traces minimal.
@@ -92,11 +100,22 @@ class StepTrace:
 
         Defaults to the full recorded span.  For a power trace this is the
         energy in joules; for a current trace, the charge in coulombs.
+
+        The trace is undefined before its first breakpoint, so a window
+        starting before ``start_time`` raises :class:`SimulationError`
+        (consistent with :meth:`value_at`) rather than silently dropping
+        the missing span — which would corrupt any window average taken
+        from t=0 on a trace recorded later.
         """
         if start is None:
             start = self._times[0]
         if end is None:
             end = self._times[-1]
+        if start < self._times[0]:
+            raise SimulationError(
+                f"trace {self.name!r}: integral window starts at {start}, "
+                f"before trace start {self._times[0]}"
+            )
         if end < start:
             raise SimulationError(f"integral bounds reversed: [{start}, {end}]")
         if end == start:
@@ -115,11 +134,20 @@ class StepTrace:
         return total
 
     def mean(self, start: float = None, end: float = None) -> float:
-        """Time-average of the signal over ``[start, end]``."""
+        """Time-average of the signal over ``[start, end]``.
+
+        Like :meth:`integral`, raises :class:`SimulationError` when the
+        window starts before the trace's first breakpoint.
+        """
         if start is None:
             start = self._times[0]
         if end is None:
             end = self._times[-1]
+        if start < self._times[0]:
+            raise SimulationError(
+                f"trace {self.name!r}: mean window starts at {start}, "
+                f"before trace start {self._times[0]}"
+            )
         if end <= start:
             raise SimulationError(f"mean needs a positive span, got [{start}, {end}]")
         return self.integral(start, end) / (end - start)
@@ -164,16 +192,35 @@ def sum_traces(traces: Sequence[StepTrace], name: str = "sum") -> StepTrace:
 
     Used to build a total-node power trace from per-component traces for
     the Fig 6 style stacked profile.
+
+    A trace contributes 0 before its own start time, so traces recorded
+    from different moments (lazily-created recorder channels) sum
+    consistently.
+
+    Implemented as a single k-way merge over the traces' breakpoint lists:
+    each trace's current value is carried forward and the total re-summed
+    only at emitted times, so the cost is ``O(B (log n + n))`` for ``B``
+    total breakpoints over ``n`` traces — not the ``O(B * n log B)`` of
+    re-querying every trace via bisect at every breakpoint.  Summing the
+    carried values (rather than accumulating deltas) keeps the result
+    bit-identical to the pointwise definition, with no float drift.
     """
     if not traces:
         raise SimulationError("sum_traces needs at least one trace")
-    start = min(t.start_time for t in traces)
-    times = sorted({bp for trace in traces for bp, _ in trace.breakpoints()})
+    start = min(trace.start_time for trace in traces)
     out = StepTrace(name=name, initial=0.0, start_time=start)
-    for time in times:
-        total = 0.0
-        for trace in traces:
-            if time >= trace.start_time:
-                total += trace.value_at(time)
-        out.set(time, total)
+    merged = heapq.merge(
+        *(
+            zip(trace._times, trace._values, itertools.repeat(index))
+            for index, trace in enumerate(traces)
+        )
+    )
+    current = [0.0] * len(traces)
+    previous = None
+    for time, value, index in merged:
+        if previous is not None and time != previous:
+            out.set(previous, sum(current))
+        current[index] = value
+        previous = time
+    out.set(previous, sum(current))
     return out

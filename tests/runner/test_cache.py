@@ -1,0 +1,118 @@
+"""Tests for the memoization cache."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner import MemoCache, memoize
+
+
+def test_get_or_compute_computes_once():
+    cache = MemoCache()
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return 42
+
+    assert cache.get_or_compute("k", compute) == 42
+    assert cache.get_or_compute("k", compute) == 42
+    assert calls == [1]
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_peek_does_not_compute():
+    cache = MemoCache()
+    hit, value = cache.peek("k")
+    assert (hit, value) == (False, None)
+    cache.put("k", 7)
+    hit, value = cache.peek("k")
+    assert (hit, value) == (True, 7)
+
+
+def test_lru_eviction_order():
+    cache = MemoCache(maxsize=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.peek("a")  # refresh a: b is now least recently used
+    cache.put("c", 3)
+    assert cache.peek("b") == (False, None)
+    assert cache.peek("a") == (True, 1)
+    assert cache.peek("c") == (True, 3)
+    assert len(cache) == 2
+
+
+def test_clear_resets_counters():
+    cache = MemoCache()
+    cache.put("k", 1)
+    cache.peek("k")
+    cache.clear()
+    assert len(cache) == 0
+    stats = cache.stats
+    assert stats.hits == 0 and stats.misses == 0 and stats.size == 0
+
+
+def test_stats_hit_rate():
+    cache = MemoCache()
+    cache.put("k", 1)
+    cache.peek("k")
+    cache.peek("missing")
+    stats = cache.stats
+    assert stats.lookups == 2
+    assert stats.hit_rate == pytest.approx(0.5)
+    assert MemoCache().stats.hit_rate == 0.0
+
+
+def test_invalid_maxsize_rejected():
+    with pytest.raises(ConfigurationError):
+        MemoCache(maxsize=0)
+
+
+def test_thread_safety_under_contention():
+    cache = MemoCache(maxsize=16)
+    errors = []
+
+    def worker(offset):
+        try:
+            for k in range(200):
+                key = (offset + k) % 24
+                cache.get_or_compute(key, lambda key=key: key * 2)
+                cache.peek(key)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(cache) <= 16
+
+
+def test_memoize_decorator():
+    calls = []
+
+    @memoize
+    def slow_double(x):
+        calls.append(x)
+        return 2 * x
+
+    assert slow_double(3) == 6
+    assert slow_double(3) == 6
+    assert slow_double(4) == 8
+    assert calls == [3, 4]
+    assert slow_double.cache.stats.hits == 1
+
+
+def test_memoize_with_maxsize_and_kwargs():
+    @memoize(maxsize=2)
+    def f(x, scale=1):
+        return x * scale
+
+    assert f(1) == 1
+    assert f(1, scale=3) == 3  # distinct key from f(1)
+    assert f(1) == 1
+    assert len(f.cache) == 2

@@ -178,3 +178,114 @@ def test_handle_reports_time_and_name():
     handle = engine.schedule(4.0, lambda: None, name="wake")
     assert handle.time == 4.0
     assert handle.name == "wake"
+
+
+# -- exact max_events semantics ----------------------------------------------
+
+
+def test_run_until_allows_exactly_max_events():
+    """Regression: the guard used to trip one event early, so a budget of
+    N could only ever fire N-1 callbacks."""
+    engine = Engine()
+    fired = []
+    for i in range(5):
+        engine.schedule(float(i + 1), lambda i=i: fired.append(i))
+    engine.run_until(10.0, max_events=5)
+    assert fired == [0, 1, 2, 3, 4]
+    assert engine.now == 10.0
+
+
+def test_run_until_raises_past_max_events_with_exact_count():
+    engine = Engine()
+    fired = []
+    for i in range(5):
+        engine.schedule(float(i + 1), lambda i=i: fired.append(i))
+    with pytest.raises(SimulationError):
+        engine.run_until(10.0, max_events=4)
+    assert fired == [0, 1, 2, 3]  # exactly the budget, not one fewer
+    assert engine.events_fired == 4
+
+
+def test_run_until_max_events_ignores_events_beyond_window():
+    engine = Engine()
+    engine.schedule(1.0, lambda: None)
+    engine.schedule(50.0, lambda: None)  # due after end_time: not counted
+    engine.run_until(10.0, max_events=1)
+    assert engine.events_fired == 1
+    assert engine.pending_count == 1
+
+
+def test_run_to_completion_allows_exactly_max_events():
+    engine = Engine()
+    for i in range(5):
+        engine.schedule(float(i + 1), lambda: None)
+    engine.run_to_completion(max_events=5)
+    assert engine.events_fired == 5
+
+
+def test_run_to_completion_raises_past_max_events():
+    engine = Engine()
+    for i in range(5):
+        engine.schedule(float(i + 1), lambda: None)
+    with pytest.raises(SimulationError):
+        engine.run_to_completion(max_events=4)
+    assert engine.events_fired == 4
+
+
+# -- O(1) live-event accounting ----------------------------------------------
+
+
+def test_pending_count_tracks_schedule_cancel_and_fire():
+    engine = Engine()
+    handles = [engine.schedule(float(i + 1), lambda: None) for i in range(3)]
+    assert engine.pending_count == 3
+    handles[1].cancel()
+    assert engine.pending_count == 2
+    engine.step()
+    assert engine.pending_count == 1
+    engine.run_to_completion()
+    assert engine.pending_count == 0
+
+
+def test_cancel_twice_decrements_once():
+    engine = Engine()
+    handle = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert engine.pending_count == 1
+
+
+def test_cancel_after_fire_is_noop():
+    engine = Engine()
+    handle = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    engine.step()
+    assert not handle.pending
+    handle.cancel()  # must not decrement the live counter again
+    assert engine.pending_count == 1
+
+
+def test_callback_cancelling_own_handle_keeps_count_consistent():
+    engine = Engine()
+    holder = {}
+
+    def self_cancel():
+        holder["h"].cancel()
+
+    holder["h"] = engine.schedule(1.0, self_cancel)
+    engine.schedule(2.0, lambda: None)
+    engine.run_to_completion()
+    assert engine.pending_count == 0
+
+
+def test_pending_count_with_cancelled_heap_head():
+    # Cancelled entries still sit in the heap until popped; the counter
+    # must not depend on when they are shed.
+    engine = Engine()
+    head = engine.schedule(1.0, lambda: None)
+    engine.schedule(5.0, lambda: None)
+    head.cancel()
+    assert engine.pending_count == 1
+    assert engine.next_event_time() == 5.0
+    assert engine.pending_count == 1
