@@ -15,7 +15,7 @@ Quick start::
     print(audit_node(node).format_table())
 """
 
-from . import board, core, harvest, mcu, net, power, radio, sensors, sim, storage
+from . import board, core, faults, harvest, mcu, net, power, radio, sensors, sim, storage
 from . import errors, units
 from .core import (
     NodeConfig,
@@ -43,6 +43,7 @@ __all__ = [
     "capture_cycle_profile",
     "core",
     "errors",
+    "faults",
     "harvest",
     "mcu",
     "net",

@@ -17,6 +17,7 @@ never from worker identity or completion order.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -27,8 +28,9 @@ from .board import (
     monte_carlo_yield,
 )
 from .board.pcb import PadRing
-from .core import build_tpms_node
+from .core import NodeConfig, PicoCube, audit_node, build_tpms_node
 from .errors import ConfigurationError
+from .faults import FaultInjector, random_schedule
 from .harvest import (
     BicycleWheelHarvester,
     ElectromagneticShaker,
@@ -40,7 +42,7 @@ from .net import FleetChannel, FleetStats, aloha_prediction
 from .net.fleet import BEACON_PERIOD_S
 from .power import BoostRectifier, SynchronousRectifier, compare_step_up_topologies
 from .power.topologies import all_step_up_families
-from .runner import CampaignStats, MemoCache, Sweep
+from .runner import CampaignStats, MemoCache, MonteCarlo, Sweep
 from .sensors import TireEnvironment
 from .storage import NiMHCell
 
@@ -369,6 +371,144 @@ def energy_neutral_campaign(
     sweep = Sweep(harvest_source_task, name="energy-neutral", workers=workers)
     result = sweep.run(energy_neutral_catalogue(v_batt))
     return result.values(), result.stats
+
+
+# ---------------------------------------------------------------------------
+# Chaos — seeded fault storms against a recovering node
+# ---------------------------------------------------------------------------
+
+CHAOS_PROFILES: Dict[str, Dict] = {
+    "mild": dict(
+        dropouts=1,
+        dropout_span_s=(1200.0, 3000.0),
+        dropout_derating=(0.1, 0.4),
+        discharge_spikes=1,
+        spike_multiplier=(5.0, 20.0),
+        esr_drifts=1,
+        esr_multiplier=(1.2, 2.0),
+        degradations=1,
+        degradation_loss=(1.05, 1.2),
+        noise_bursts=1,
+        noise_flip_probability=(0.002, 0.01),
+        resets=0,
+    ),
+    "harsh": dict(
+        dropouts=2,
+        dropout_span_s=(1800.0, 7200.0),
+        dropout_derating=(0.0, 0.2),
+        discharge_spikes=2,
+        spike_multiplier=(20.0, 80.0),
+        esr_drifts=1,
+        esr_multiplier=(2.0, 4.0),
+        degradations=1,
+        degradation_loss=(1.2, 1.6),
+        noise_bursts=2,
+        noise_flip_probability=(0.01, 0.05),
+        resets=2,
+    ),
+}
+"""Named :func:`repro.faults.random_schedule` parameter sets.
+
+``mild`` is a rough week in the field (derated harvest, light noise);
+``harsh`` is the storm that should force brownouts — full dropouts long
+enough to drain the small chaos cell, heavy leakage spikes, and resets.
+"""
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosOutcome:
+    """One chaos trial's summary (picklable: crosses the pool boundary)."""
+
+    seed: int
+    cycles: int
+    packets_delivered: int
+    packets_corrupted: int
+    brownouts: int
+    outage_s: float
+    resets: int
+    final_soc: float
+    average_power_w: float
+
+    @property
+    def survived(self) -> bool:
+        """True when the node never browned out during the trial."""
+        return self.brownouts == 0
+
+
+def _chaos_node(duration_s: float) -> "PicoCube":
+    """The deliberately marginal node every chaos trial runs.
+
+    A 0.1 mAh cell at 15% charge with a 10 uA charger (the cell's own
+    C/10 trickle ceiling): healthy harvest keeps it alive indefinitely,
+    but a multi-hour dropout drains it into brownout — so the fault
+    schedule, not the baseline design, decides the outcome.
+    """
+    cell = NiMHCell(capacity_mah=0.1)
+    cell.set_soc(0.15)
+    config = NodeConfig(
+        brownout_recovery=True,
+        recovery_voltage_v=1.19,
+        recovery_check_period_s=30.0,
+    )
+    node = PicoCube(config, battery=cell)
+    node.attach_charger(lambda t: 10e-6, update_period_s=60.0)
+    return node
+
+
+def chaos_task(params: Tuple[float, str], seed: int) -> ChaosOutcome:
+    """One seeded fault storm against the marginal chaos node.
+
+    ``params = (duration_s, profile)``; the schedule, the injector's
+    noise stream, and the node are all pure functions of ``(params,
+    seed)``, so the trial is bit-identical wherever it runs.
+    """
+    duration_s, profile = params
+    if profile not in CHAOS_PROFILES:
+        raise ConfigurationError(f"unknown chaos profile {profile!r}")
+    node = _chaos_node(duration_s)
+    schedule = random_schedule(
+        seed, duration_s, **CHAOS_PROFILES[profile]
+    )
+    injector = FaultInjector(node, schedule, noise_seed=seed)
+    injector.arm()
+    node.run(duration_s)
+    audit = audit_node(node)
+    return ChaosOutcome(
+        seed=seed,
+        cycles=node.cycles_completed,
+        packets_delivered=len(node.packets_sent),
+        packets_corrupted=len(node.packets_corrupted),
+        brownouts=audit.brownouts,
+        outage_s=audit.outage_s,
+        resets=audit.resets,
+        final_soc=node.battery.soc,
+        average_power_w=node.average_power(),
+    )
+
+
+def chaos_campaign(
+    trials: int = 8,
+    duration_s: float = 6 * 3600.0,
+    profile: str = "mild",
+    base_seed: int = 2008,
+    workers: Optional[int] = None,
+) -> Tuple[List[ChaosOutcome], CampaignStats]:
+    """Monte-Carlo fault storms over the process pool.
+
+    Trial ``k`` gets ``derive_seed(base_seed, k, profile)``; outcomes
+    come back in trial order and are bit-identical for any ``workers``
+    value — the invariant ``tests/faults/test_chaos_campaign.py`` pins.
+    """
+    mc = MonteCarlo(
+        chaos_task,
+        base_seed=base_seed,
+        trials=trials,
+        name=f"chaos-{profile}",
+        workers=workers,
+        seed_salt=profile,
+    )
+    result = mc.run(params=(duration_s, profile))
+    return result.values, result.stats
 
 
 # ---------------------------------------------------------------------------

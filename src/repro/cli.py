@@ -20,6 +20,8 @@ Commands
     Validate the 1 cm^3 packaging and print the dimension ledger.
 ``report``
     Run a node and emit a markdown run report.
+``chaos``
+    Monte-Carlo seeded fault storms against a recovering node.
 """
 
 from __future__ import annotations
@@ -117,6 +119,34 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .campaigns import chaos_campaign
+
+    outcomes, stats = chaos_campaign(
+        trials=args.trials,
+        duration_s=args.hours * 3600.0,
+        profile=args.profile,
+        base_seed=args.seed,
+        workers=args.workers,
+    )
+    print(f"{'trial':>5} {'cycles':>7} {'sent':>6} {'corrupt':>8} "
+          f"{'brownouts':>10} {'outage':>9} {'resets':>7} {'soc':>6}")
+    for k, out in enumerate(outcomes):
+        print(
+            f"{k:>5} {out.cycles:>7} {out.packets_delivered:>6} "
+            f"{out.packets_corrupted:>8} {out.brownouts:>10} "
+            f"{out.outage_s:7.0f} s {out.resets:>7} {out.final_soc:6.3f}"
+        )
+    survived = sum(1 for out in outcomes if out.survived)
+    duration = args.hours * 3600.0
+    worst = max(out.outage_s for out in outcomes)
+    print(f"survived {survived}/{len(outcomes)} trials "
+          f"({args.profile} profile); worst outage {worst:.0f} s "
+          f"({worst / duration:.1%} of the run)")
+    print(stats.summary())
+    return 0
+
+
 def _cmd_stack(args: argparse.Namespace) -> int:
     from .board import standard_picocube
 
@@ -174,6 +204,14 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--train", choices=("cots", "ic"), default="cots")
     report.add_argument("--title", default=None)
     report.set_defaults(handler=_cmd_report)
+
+    chaos = sub.add_parser("chaos", help="seeded fault-storm Monte Carlo")
+    chaos.add_argument("--trials", type=int, default=8)
+    chaos.add_argument("--hours", type=float, default=6.0)
+    chaos.add_argument("--profile", choices=("mild", "harsh"), default="mild")
+    chaos.add_argument("--seed", type=int, default=2008)
+    chaos.add_argument("--workers", type=int, default=None)
+    chaos.set_defaults(handler=_cmd_chaos)
     return parser
 
 

@@ -15,7 +15,7 @@ from .energy_audit import (
     is_energy_neutral,
     projected_lifetime_s,
 )
-from .node import PicoCube
+from .node import BrownoutEvent, PicoCube
 from .power_train import (
     CotsPowerTrain,
     IcPowerTrain,
@@ -32,6 +32,7 @@ from .reporting import run_report
 
 __all__ = [
     "AdaptiveScheduler",
+    "BrownoutEvent",
     "DEFAULT_LADDER",
     "PolicyRung",
     "CotsPowerTrain",

@@ -26,6 +26,12 @@ class NodeConfig:
     frame bits raw (what the paper's numbers imply), ``"manchester"``
     chips each bit into a 01/10 pair — guaranteed transitions for the
     energy-detecting receiver's threshold tracking, at 2x air time.
+
+    ``brownout_recovery`` arms a power-on-reset supervisor: a browned-out
+    node re-enters operation once the battery's open-circuit voltage
+    climbs back past ``recovery_voltage_v`` (checked every
+    ``recovery_check_period_s``).  Off by default — the as-built cube has
+    no supervised restart, so a brownout is terminal unless opted in.
     """
 
     node_id: int = 1
@@ -37,6 +43,9 @@ class NodeConfig:
     mcu_clock_hz: float = 1e6
     pa_sequencing_delay_s: float = 100e-6
     motion_sample_interval_s: float = 0.25
+    brownout_recovery: bool = False
+    recovery_voltage_v: float = 1.1
+    recovery_check_period_s: float = 30.0
 
     def __post_init__(self) -> None:
         if not 0 <= self.node_id <= 255:
@@ -63,3 +72,7 @@ class NodeConfig:
             raise ConfigurationError("bit_rate and mcu_clock_hz must be positive")
         if self.pa_sequencing_delay_s < 0.0 or self.motion_sample_interval_s <= 0.0:
             raise ConfigurationError("invalid timing configuration")
+        if self.recovery_voltage_v <= 0.0:
+            raise ConfigurationError("recovery_voltage_v must be positive")
+        if self.recovery_check_period_s <= 0.0:
+            raise ConfigurationError("recovery_check_period_s must be positive")

@@ -27,6 +27,16 @@ class EnergyAudit:
     cycles: int
     energy_per_cycle_j: float
     management_fraction: float
+    brownouts: int = 0
+    outage_s: float = 0.0
+    resets: int = 0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the window the node was powered (1.0 = no outage)."""
+        if self.duration_s <= 0.0:
+            return 0.0
+        return 1.0 - self.outage_s / self.duration_s
 
     def dominant_channel(self) -> str:
         """The largest energy consumer."""
@@ -39,8 +49,15 @@ class EnergyAudit:
             f"average power      {self.average_power_w * 1e6:.2f} uW",
             f"cycles completed   {self.cycles}",
             f"energy per cycle   {self.energy_per_cycle_j * 1e6:.2f} uJ",
-            "channel breakdown:",
         ]
+        if self.brownouts or self.resets:
+            lines.append(
+                f"brownouts          {self.brownouts} "
+                f"({self.outage_s:.1f} s down, "
+                f"availability {self.availability:.1%})"
+            )
+            lines.append(f"spurious resets    {self.resets}")
+        lines.append("channel breakdown:")
         total = sum(self.energy_by_channel_j.values())
         for name, energy in self.energy_by_channel_j.items():
             share = energy / total if total > 0 else 0.0
@@ -66,6 +83,10 @@ def audit_node(node: PicoCube, start: float = None, end: float = None) -> Energy
         # Cycle energy is what a cycle adds above the always-on floor.
         per_cycle = max((total - sleep_power * duration) / cycles, 0.0)
     management = breakdown.get("power-management", 0.0)
+    outages = [
+        event for event in node.brownout_events
+        if event.start_s < end and (event.end_s is None or event.end_s > start)
+    ]
     return EnergyAudit(
         duration_s=duration,
         average_power_w=total / duration,
@@ -73,6 +94,9 @@ def audit_node(node: PicoCube, start: float = None, end: float = None) -> Energy
         cycles=cycles,
         energy_per_cycle_j=per_cycle,
         management_fraction=management / total if total > 0 else 0.0,
+        brownouts=len(outages),
+        outage_s=sum(event.overlap_s(start, end) for event in outages),
+        resets=node.resets,
     )
 
 

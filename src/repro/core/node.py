@@ -18,6 +18,7 @@ and the whole tire-pressure day simulates in milliseconds.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable, List, Optional
 
 from ..errors import ConfigurationError, ElectricalError, SimulationError
@@ -27,9 +28,28 @@ from ..net.framing import manchester_encode, ones_fraction
 from ..radio import FbarTransmitter, OokModulator
 from ..sensors import MotionEnvironment, MotionInterval, Sca3000, Sp12Tpms, TireEnvironment
 from ..sim import Engine, PeriodicTimer, PowerRecorder, spawn
+from ..sim.process import Process
 from ..storage import NiMHCell, TrickleCharger
 from .config import NodeConfig
 from .power_train import LoadState, make_power_train
+
+
+@dataclasses.dataclass
+class BrownoutEvent:
+    """One brownout episode: entry time and (once recovered) exit time."""
+
+    start_s: float
+    end_s: Optional[float] = None
+
+    @property
+    def ongoing(self) -> bool:
+        """True while the node is still down."""
+        return self.end_s is None
+
+    def overlap_s(self, start: float, end: float) -> float:
+        """Outage seconds this episode contributes to a window."""
+        hi = end if self.end_s is None else min(self.end_s, end)
+        return max(0.0, hi - max(self.start_s, start))
 
 
 class PicoCube:
@@ -81,15 +101,24 @@ class PicoCube:
         # Bookkeeping.
         self.cycles_completed = 0
         self.packets_sent: List[PicoPacket] = []
+        self.packets_corrupted: List[PicoPacket] = []
         self.cycle_start_times: List[float] = []
         self.browned_out = False
         self.brownout_time: Optional[float] = None
+        self.brownout_events: List[BrownoutEvent] = []
+        self.resets = 0
         self._cycle_active = False
+        self._cycle_process: Optional[Process] = None
         self._started = False
         self._wake_timer: Optional[PeriodicTimer] = None
+        self._recovery_timer: Optional[PeriodicTimer] = None
         self._charger: Optional[TrickleCharger] = None
         self._charge_current_fn: Optional[Callable[[float], float]] = None
         self._charge_timer: Optional[PeriodicTimer] = None
+        # Fault-injection hooks (repro.faults): harvest derating scales the
+        # charger's input; the packet filter decides per-packet delivery.
+        self._harvest_derating = 1.0
+        self.packet_filter: Optional[Callable[[PicoPacket, float], bool]] = None
         self._seq = 0
         self.mcu.enter(Mode.LPM3)
         self._update()
@@ -159,30 +188,38 @@ class PicoCube:
         """Integrate the battery drain since the last event.
 
         If the stored charge cannot cover the interval, the node browns
-        out at the moment the battery empties: all loads drop, the wake
-        source stops, and the node stays dead (a real PicoCube has no
-        supervised restart — it would need a power-on-reset event this
-        model does not grant it).
+        out at the moment the battery empties: all loads drop and the
+        wake source stops.  Without ``config.brownout_recovery`` the node
+        stays dead (the as-built PicoCube has no supervised restart);
+        with it, a power-on-reset supervisor watches the open-circuit
+        voltage and restarts the node once it recovers past the
+        hysteresis threshold.  A browned-out cell still self-discharges
+        (and still accepts harvested charge through the charger tick).
         """
         now = self.engine.now
         dt = now - self._last_battery_sync
-        if dt > 0.0 and not self.browned_out:
-            needed = self._i_battery * dt
-            if needed >= self.battery.charge and self._i_battery > 0.0:
-                dead_at = (
-                    self._last_battery_sync
-                    + self.battery.charge / self._i_battery
-                )
-                self.battery.discharge(self.battery.charge)
-                self._enter_brownout(min(dead_at, now))
-            else:
-                self.battery.discharge(needed)
+        if dt > 0.0:
+            if self.browned_out:
                 self.battery.apply_self_discharge(dt)
+            else:
+                needed = self._i_battery * dt
+                if needed >= self.battery.charge and self._i_battery > 0.0:
+                    dead_at = (
+                        self._last_battery_sync
+                        + self.battery.charge / self._i_battery
+                    )
+                    self.battery.discharge(self.battery.charge)
+                    self._enter_brownout(min(dead_at, now))
+                else:
+                    self.battery.discharge(needed)
+                    self.battery.apply_self_discharge(dt)
         self._last_battery_sync = now
 
     def _enter_brownout(self, time_of_death: float) -> None:
         self.browned_out = True
         self.brownout_time = time_of_death
+        self.brownout_events.append(BrownoutEvent(start_s=time_of_death))
+        self._abort_cycle()
         self._i_battery = 0.0
         if self._wake_timer is not None:
             self._wake_timer.stop()
@@ -190,6 +227,99 @@ class PicoCube:
                         "power-management"):
             if self.recorder.has_channel(channel):
                 self.recorder.record(channel, 0.0)
+        if self.config.brownout_recovery:
+            self._arm_recovery_supervisor()
+
+    def _abort_cycle(self) -> None:
+        """Kill any in-flight sample cycle and park every load at sleep."""
+        if self._cycle_process is not None:
+            self._cycle_process.cancel()
+            self._cycle_process = None
+        if self.sensor.measuring:
+            # The abandoned measurement never completed; it does not count.
+            self.sensor.measuring = False
+        self._i_sensor = self.sensor.current()
+        self._i_radio_digital = 0.0
+        self._i_radio_rf = 0.0
+        if self.train.radio_enabled:
+            self.train.disable_radio()
+        self.mcu.enter(Mode.LPM3)
+        self._i_mcu = self.mcu.current(
+            self.train.mcu_rail_voltage(), temperature_c=self.ambient_c()
+        )
+        self._cycle_active = False
+
+    def _arm_recovery_supervisor(self) -> None:
+        if self._recovery_timer is None:
+            self._recovery_timer = PeriodicTimer(
+                self.engine,
+                self.config.recovery_check_period_s,
+                self._check_recovery,
+                name="por-supervisor",
+            )
+        if not self._recovery_timer.running:
+            self._recovery_timer.start()
+
+    def _check_recovery(self) -> None:
+        if not self.browned_out:
+            self._recovery_timer.stop()
+            return
+        self._sync_battery()
+        if self.battery.open_circuit_voltage() >= self.config.recovery_voltage_v:
+            self._exit_brownout()
+
+    def _exit_brownout(self) -> None:
+        """Power-on reset: leave brownout and re-arm the sample cycle."""
+        now = self.engine.now
+        self.browned_out = False
+        self.brownout_events[-1].end_s = now
+        if self._recovery_timer is not None:
+            self._recovery_timer.stop()
+        # Clear any load state the dying cycle mutated after the abort.
+        self._abort_cycle()
+        self._last_battery_sync = now
+        if self._started and self._wake_timer is not None \
+                and not self._wake_timer.running:
+            self._wake_timer.start()
+        self._update()
+
+    @property
+    def outage_s(self) -> float:
+        """Total seconds spent browned out so far."""
+        return sum(
+            event.overlap_s(0.0, self.engine.now)
+            for event in self.brownout_events
+        )
+
+    # ------------------------------------------------------------------ faults
+
+    def set_harvest_derating(self, factor: float) -> None:
+        """Scale the attached charger's input (fault injection).
+
+        ``1.0`` is the healthy harvester; ``0.0`` is a full dropout (the
+        shaker stopped, the car parked).  Applied at every harvest tick,
+        so mid-run changes take effect at the next tick.
+        """
+        if factor < 0.0:
+            raise ConfigurationError(
+                f"harvest derating must be >= 0, got {factor}"
+            )
+        self._harvest_derating = factor
+
+    def inject_reset(self) -> None:
+        """Model a spurious MCU reset (watchdog bite, POR glitch).
+
+        Aborts any in-flight sample cycle, restarts the rolling sequence
+        counter at zero, and drops back to LPM3 — the wake source keeps
+        running, so sampling resumes on the next interrupt.  A no-op
+        while browned out (the supply is already gone).
+        """
+        if self.browned_out:
+            return
+        self.resets += 1
+        self._seq = 0
+        self._abort_cycle()
+        self._update()
 
     def _advance_environment(self) -> None:
         now = self.engine.now
@@ -269,7 +399,10 @@ class PicoCube:
 
         def tick() -> None:
             self._sync_battery()
-            current = self._charge_current_fn(self.engine.now)
+            current = (
+                self._charge_current_fn(self.engine.now)
+                * self._harvest_derating
+            )
             self._charger.charge(current, update_period_s)
 
         self._charge_timer = PeriodicTimer(
@@ -282,12 +415,16 @@ class PicoCube:
     def _on_wake_interrupt(self) -> None:
         if self._cycle_active or self.browned_out:
             return  # previous cycle still running; skip (never happens at 6 s)
-        spawn(self.engine, self._sample_cycle(), name="on-cycle")
+        self._cycle_process = spawn(
+            self.engine, self._sample_cycle(), name="on-cycle"
+        )
 
     def _on_motion_interrupt(self) -> None:
         if self._cycle_active or self.browned_out:
             return
-        spawn(self.engine, self._motion_burst(), name="motion-burst")
+        self._cycle_process = spawn(
+            self.engine, self._motion_burst(), name="motion-burst"
+        )
 
     def _path_time(self, name: str) -> float:
         return self.firmware.path(name).duration(self.mcu)
@@ -329,7 +466,12 @@ class PicoCube:
         self.train.disable_radio()
         yield self._path_time("transmit-supervise") + self._path_time("sleep-entry")
         self._set_mcu(Mode.LPM3)
-        self.packets_sent.append(packet)
+        if self.packet_filter is None or self.packet_filter(
+            packet, self.engine.now
+        ):
+            self.packets_sent.append(packet)
+        else:
+            self.packets_corrupted.append(packet)
         self._seq = (self._seq + 1) & 0xFF
         self.cycles_completed += 1
         self._cycle_active = False

@@ -83,10 +83,40 @@ class PowerTrain(abc.ABC):
     def __init__(self, name: str) -> None:
         self.name = name
         self.radio_enabled = False
+        self._loss_factor = 1.0
 
     @abc.abstractmethod
     def solve(self, v_battery: float, loads: LoadState) -> TrainSolution:
         """Quasi-static battery draw for a load state."""
+
+    @property
+    def loss_factor(self) -> float:
+        """Battery-current multiplier modelling converter degradation."""
+        return self._loss_factor
+
+    def set_degradation(self, loss_factor: float) -> None:
+        """Derate conversion efficiency (fault injection: aged converters).
+
+        ``loss_factor`` multiplies the battery-side current of every
+        solve: the rails still deliver their nominal power, but the train
+        burns more getting there — the extra shows up on the
+        ``power-management`` channel, where the paper says the budget is
+        won or lost.  ``1.0`` restores the healthy train.
+        """
+        if loss_factor < 1.0:
+            raise ConfigurationError(
+                f"{self.name}: degradation loss factor must be >= 1, "
+                f"got {loss_factor}"
+            )
+        self._loss_factor = loss_factor
+
+    def _finish(self, solution: TrainSolution) -> TrainSolution:
+        """Apply any injected degradation to a healthy solve result."""
+        if self._loss_factor == 1.0:
+            return solution
+        return dataclasses.replace(
+            solution, i_battery=solution.i_battery * self._loss_factor
+        )
 
     @abc.abstractmethod
     def mcu_rail_voltage(self) -> float:
@@ -187,12 +217,12 @@ class CotsPowerTrain(PowerTrain):
             # Open input switch: only its leakage remains on the battery.
             i_rf_branch = self.input_switch.i_leak_off
         i_battery = pump_op.i_in + i_rf_branch
-        return TrainSolution(
+        return self._finish(TrainSolution(
             v_battery=v_battery,
             i_battery=i_battery,
             v_mcu_rail=self.mcu_rail_voltage(),
             subsystem_power=self._subsystem_power(loads),
-        )
+        ))
 
 
 class IcPowerTrain(PowerTrain):
@@ -237,12 +267,12 @@ class IcPowerTrain(PowerTrain):
             + self.ic.bandgap.average_current()
         )
         i_battery = mcu_op.i_in + radio_op.i_in + standing
-        return TrainSolution(
+        return self._finish(TrainSolution(
             v_battery=v_battery,
             i_battery=i_battery,
             v_mcu_rail=self.mcu_rail_voltage(),
             subsystem_power=self._subsystem_power(loads),
-        )
+        ))
 
 
 def make_power_train(kind: str) -> PowerTrain:

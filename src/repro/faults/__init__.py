@@ -1,0 +1,50 @@
+"""Fault injection and graceful degradation for the PicoCube simulation.
+
+The paper's argument is that a harvested-energy node must survive a
+hostile power environment.  This package makes that testable: typed
+fault events (:mod:`~repro.faults.events`), deterministic seeded
+schedules (:mod:`~repro.faults.schedule`), and an injector that applies
+them to a live node mid-run (:mod:`~repro.faults.injector`) — composing
+with the brownout-recovery state machine in :mod:`repro.core.node`, the
+retry-aware fleet channel in :mod:`repro.net.fleet`, and the ``chaos``
+Monte Carlo campaign in :mod:`repro.campaigns`.
+
+Quick start::
+
+    from repro import build_tpms_node
+    from repro.faults import FaultInjector, FaultSchedule, HarvesterDropout
+
+    node = build_tpms_node()
+    node.attach_charger(lambda t: 20e-6)
+    FaultInjector(node, FaultSchedule([
+        HarvesterDropout(start_s=600.0, duration_s=1800.0),
+    ])).arm()
+    node.run(4 * 3600.0)
+"""
+
+from .events import (
+    ChannelNoiseBurst,
+    ConverterDegradation,
+    EsrDrift,
+    FaultEvent,
+    HarvesterDropout,
+    SelfDischargeSpike,
+    SpuriousReset,
+)
+from .injector import CorruptedFrame, FaultInjector
+from .schedule import EVENT_KINDS, FaultSchedule, random_schedule
+
+__all__ = [
+    "ChannelNoiseBurst",
+    "ConverterDegradation",
+    "CorruptedFrame",
+    "EVENT_KINDS",
+    "EsrDrift",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "HarvesterDropout",
+    "SelfDischargeSpike",
+    "SpuriousReset",
+    "random_schedule",
+]

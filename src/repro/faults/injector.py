@@ -1,0 +1,178 @@
+"""The fault injector: applies a schedule to a live node, deterministically.
+
+:class:`FaultInjector` turns a :class:`~repro.faults.schedule.FaultSchedule`
+into engine events on the node's own clock: each fault's start and end
+become scheduled callbacks that push/pop a severity onto a per-family
+stack and re-apply the composed value through the layer's injection API.
+Everything runs inside the node's single-threaded discrete-event engine,
+so two runs with the same node configuration, schedule, and
+``noise_seed`` are bit-identical — the invariant
+``tests/faults/test_determinism.py`` pins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List, Optional, Tuple
+
+from ..core.node import PicoCube
+from ..errors import ConfigurationError
+from ..net.packet import PicoPacket
+from .events import (
+    ChannelNoiseBurst,
+    ConverterDegradation,
+    EsrDrift,
+    FaultEvent,
+    HarvesterDropout,
+    SelfDischargeSpike,
+    SpuriousReset,
+)
+from .schedule import FaultSchedule
+
+
+@dataclasses.dataclass(frozen=True)
+class CorruptedFrame:
+    """One packet lost to injected channel noise."""
+
+    time_s: float
+    packet: PicoPacket
+    flipped_bits: Tuple[int, ...]
+
+    def corrupted_bits(self) -> List[int]:
+        """The on-air bit list with the injected flips applied."""
+        bits = self.packet.to_bits()
+        for index in self.flipped_bits:
+            bits[index] ^= 1
+        return bits
+
+
+class FaultInjector:
+    """Arms a fault schedule against one :class:`PicoCube`."""
+
+    def __init__(
+        self,
+        node: PicoCube,
+        schedule: FaultSchedule,
+        noise_seed: int = 0,
+    ) -> None:
+        self.node = node
+        self.schedule = schedule
+        self.noise_seed = noise_seed
+        self.corrupted: List[CorruptedFrame] = []
+        self.log: List[Tuple[float, str]] = []
+        self._rng = random.Random(noise_seed)
+        self._armed = False
+        # Active severity stacks, composed multiplicatively per family.
+        self._deratings: List[float] = []
+        self._spikes: List[float] = []
+        self._esr: List[float] = []
+        self._degradations: List[float] = []
+        self._noise: List[float] = []
+
+    def arm(self) -> None:
+        """Schedule every fault transition on the node's engine (once)."""
+        if self._armed:
+            raise ConfigurationError("injector is already armed")
+        if self.node.packet_filter is not None:
+            raise ConfigurationError(
+                "node already has a packet filter installed"
+            )
+        self._armed = True
+        self.node.packet_filter = self._filter_packet
+        now = self.node.engine.now
+        for event in self.schedule:
+            if isinstance(event, SpuriousReset):
+                if event.start_s >= now:
+                    self.node.engine.schedule_at(
+                        event.start_s,
+                        lambda e=event: self._fire_reset(e),
+                        name="fault-reset",
+                    )
+                continue
+            if event.end_s <= now:
+                continue  # already over before arming
+            self.node.engine.schedule_at(
+                max(event.start_s, now),
+                lambda e=event: self._apply(e, on=True),
+                name="fault-on",
+            )
+            self.node.engine.schedule_at(
+                event.end_s,
+                lambda e=event: self._apply(e, on=False),
+                name="fault-off",
+            )
+
+    # -- transitions -------------------------------------------------------
+
+    def _apply(self, event: FaultEvent, on: bool) -> None:
+        if isinstance(event, HarvesterDropout):
+            self._toggle(self._deratings, event.derating, on)
+            self.node.set_harvest_derating(self._product(self._deratings))
+        elif isinstance(event, SelfDischargeSpike):
+            self._toggle(self._spikes, event.multiplier, on)
+            self.node.battery.set_self_discharge_multiplier(
+                self._product(self._spikes)
+            )
+        elif isinstance(event, EsrDrift):
+            self._toggle(self._esr, event.multiplier, on)
+            self.node.battery.set_esr_multiplier(self._product(self._esr))
+            self._resolve()
+        elif isinstance(event, ConverterDegradation):
+            self._toggle(self._degradations, event.loss_factor, on)
+            self.node.train.set_degradation(
+                max(self._product(self._degradations), 1.0)
+            )
+            self._resolve()
+        elif isinstance(event, ChannelNoiseBurst):
+            self._toggle(self._noise, event.flip_probability, on)
+        self._note(event, on)
+
+    def _fire_reset(self, event: SpuriousReset) -> None:
+        self.node.inject_reset()
+        self._note(event, on=True)
+
+    def _resolve(self) -> None:
+        # Electrical faults change the operating point immediately; the
+        # node only re-solves on load changes, so nudge it.
+        self.node._update()
+
+    @staticmethod
+    def _toggle(stack: List[float], value: float, on: bool) -> None:
+        if on:
+            stack.append(value)
+        else:
+            stack.remove(value)
+
+    @staticmethod
+    def _product(stack: List[float]) -> float:
+        out = 1.0
+        for value in stack:
+            out *= value
+        return out
+
+    def _note(self, event: FaultEvent, on: bool) -> None:
+        label = type(event).__name__
+        self.log.append(
+            (self.node.engine.now, f"{label}:{'on' if on else 'off'}")
+        )
+
+    # -- channel noise -----------------------------------------------------
+
+    def _filter_packet(self, packet: PicoPacket, time_s: float) -> bool:
+        if not self._noise:
+            return True
+        flip_probability = max(self._noise)
+        flipped = tuple(
+            index
+            for index in range(8 * len(packet.to_bytes()))
+            if self._rng.random() < flip_probability
+        )
+        if not flipped:
+            return True
+        self.corrupted.append(
+            CorruptedFrame(
+                time_s=time_s, packet=packet, flipped_bits=flipped
+            )
+        )
+        return False

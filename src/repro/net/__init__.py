@@ -23,7 +23,7 @@ from .packet import (
 )
 from .baseband import NoisyOokChannel, q_function
 from .basestation import Alarm, BaseStation, NodeTrack
-from .fleet import AirTimeRecord, FleetChannel, FleetStats, aloha_prediction, density_sweep
+from .fleet import AirTimeRecord, FleetChannel, FleetStats, RetryPolicy, aloha_prediction, density_sweep
 from .receiver_chain import DemoReceiverChain, ReceptionStats
 
 __all__ = [
@@ -35,6 +35,7 @@ __all__ = [
     "DemoReceiverChain",
     "FleetChannel",
     "FleetStats",
+    "RetryPolicy",
     "KIND_ACCEL",
     "KIND_HEARTBEAT",
     "KIND_TPMS",

@@ -15,7 +15,8 @@ design runs out of density headroom.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Tuple
+import random
+from typing import List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..core.config import NodeConfig
@@ -40,17 +41,44 @@ class AirTimeRecord:
         return self.start < other.end and other.start < self.end
 
 
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Retransmit policy for bursts lost to injected channel noise.
+
+    Attempt ``k`` (1-based) goes on the air ``backoff_s * 2**(k-1)`` plus
+    a seeded uniform jitter in ``[0, jitter_s)`` after the previous
+    attempt ended — exponential backoff with enough scatter to break the
+    lockstep that doomed the original burst.
+    """
+
+    max_retries: int = 2
+    backoff_s: float = 0.05
+    jitter_s: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 1:
+            raise ConfigurationError("max_retries must be >= 1")
+        if self.backoff_s <= 0.0 or self.jitter_s < 0.0:
+            raise ConfigurationError("invalid retry timing")
+
+
 @dataclasses.dataclass
 class FleetStats:
     """Channel-level outcome of a fleet run."""
 
     transmitted: int = 0
     collided: int = 0
+    lost_to_noise: int = 0
+    retries: int = 0
+    recovered: int = 0
 
     @property
     def delivered(self) -> int:
-        """Bursts that arrived clean."""
-        return self.transmitted - self.collided
+        """Bursts whose payload arrived clean (retries included)."""
+        return (
+            self.transmitted - self.collided - self.lost_to_noise
+            + self.recovered
+        )
 
     @property
     def collision_rate(self) -> float:
@@ -59,9 +87,22 @@ class FleetStats:
             return 0.0
         return self.collided / self.transmitted
 
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of bursts that never got through, after retries."""
+        if self.transmitted == 0:
+            return 0.0
+        return 1.0 - self.delivered / self.transmitted
+
 
 class FleetChannel:
     """N uncoordinated PicoCubes sharing one OOK channel (pure ALOHA)."""
+
+    # Class-level fallbacks: subclasses that stub out construction (the
+    # collision-sweep regression tests do) still resolve a clean channel.
+    noise_windows: Sequence[Tuple[float, float]] = ()
+    retry: Optional[RetryPolicy] = None
+    retry_seed: int = 2008
 
     def __init__(
         self,
@@ -69,9 +110,20 @@ class FleetChannel:
         stagger_s: Optional[float] = None,
         phases: Optional[List[float]] = None,
         power_train: str = "cots",
+        noise_windows: Optional[Sequence[Tuple[float, float]]] = None,
+        retry: Optional[RetryPolicy] = None,
+        retry_seed: int = 2008,
     ) -> None:
         if node_count < 1:
             raise ConfigurationError("need at least one node")
+        for lo, hi in noise_windows or ():
+            if hi <= lo or lo < 0.0:
+                raise ConfigurationError(
+                    f"invalid noise window [{lo}, {hi}]"
+                )
+        self.noise_windows = [tuple(w) for w in noise_windows or ()]
+        self.retry = retry
+        self.retry_seed = retry_seed
         self.engine = Engine()
         self.nodes: List[PicoCube] = []
         for k in range(node_count):
@@ -155,7 +207,7 @@ class FleetChannel:
         )
 
     def collision_stats(self) -> FleetStats:
-        """Sweep the sorted bursts and count overlaps.
+        """Sweep the sorted bursts and count overlaps, noise, and retries.
 
         A plain adjacent-pair check undercounts: one long burst can
         overlap several later ones, and a middle burst can end early
@@ -163,6 +215,11 @@ class FleetChannel:
         therefore tracks the latest-ending active burst: any burst
         starting before that end collides with it (and transitively
         flags the coverer).
+
+        Bursts that survive the collision sweep but fall inside an
+        injected noise window are ``lost_to_noise``; with a
+        :class:`RetryPolicy` each gets deterministic seeded
+        retransmissions (see :meth:`_model_retries`).
         """
         records = self.air_time_records()
         collided_ids = set()
@@ -173,10 +230,79 @@ class FleetChannel:
                 collided_ids.add((record.node_id, record.seq))
             if active is None or record.end > active.end:
                 active = record
-        return FleetStats(
+        noised = [
+            record for record in records
+            if (record.node_id, record.seq) not in collided_ids
+            and self._in_noise(record)
+        ]
+        stats = FleetStats(
             transmitted=len(records),
             collided=len(collided_ids),
+            lost_to_noise=len(noised),
         )
+        if self.retry is not None and noised:
+            clean = [
+                record for record in records
+                if (record.node_id, record.seq) not in collided_ids
+                and not self._in_noise(record)
+            ]
+            stats.retries, stats.recovered = self._model_retries(
+                noised, clean
+            )
+        return stats
+
+    def _in_noise(self, record: AirTimeRecord) -> bool:
+        return any(
+            record.start < hi and lo < record.end
+            for lo, hi in self.noise_windows
+        )
+
+    def _model_retries(
+        self,
+        lost: List[AirTimeRecord],
+        delivered: List[AirTimeRecord],
+    ) -> Tuple[int, int]:
+        """Channel-level retransmission model for noise-lost bursts.
+
+        Each lost burst retries with exponential backoff and jitter from
+        an RNG seeded by ``(retry_seed, node_id, seq)`` — a pure function
+        of the fleet parameters, so campaign results stay bit-identical
+        for any worker count.  A retry succeeds when it clears every
+        noise window and does not overlap any already-delivered burst
+        (originals or earlier accepted retries).  The model is post-hoc:
+        retry energy is not charged to the nodes, which keeps the
+        per-node power books identical with and without a channel fault
+        schedule.
+        """
+        retries = recovered = 0
+        occupied = list(delivered)
+        for record in sorted(lost, key=lambda r: (r.start, r.node_id)):
+            rng = random.Random(
+                f"{self.retry_seed}:{record.node_id}:{record.seq}"
+            )
+            duration = record.end - record.start
+            t = record.end
+            for attempt in range(1, self.retry.max_retries + 1):
+                t += (
+                    self.retry.backoff_s * (2.0 ** (attempt - 1))
+                    + rng.uniform(0.0, self.retry.jitter_s)
+                )
+                candidate = AirTimeRecord(
+                    node_id=record.node_id,
+                    seq=record.seq,
+                    start=t,
+                    end=t + duration,
+                )
+                retries += 1
+                t = candidate.end
+                if self._in_noise(candidate):
+                    continue
+                if any(candidate.overlaps(r) for r in occupied):
+                    continue
+                occupied.append(candidate)
+                recovered += 1
+                break
+        return retries, recovered
 
 
 def density_sweep(

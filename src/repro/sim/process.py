@@ -77,6 +77,15 @@ class Process:
         self._engine.schedule(delay, self._resume, name=f"{self.name}.start")
         return self
 
+    def cancel(self) -> None:
+        """Abandon the body: pending resumes become no-ops (idempotent).
+
+        The generator is not closed eagerly — it may be the frame that is
+        executing right now (a fault or brownout aborting its own cycle);
+        it simply never gets resumed again after its next yield.
+        """
+        self.finished = True
+
     def _resume(self) -> None:
         if self.finished:
             return

@@ -79,6 +79,9 @@ class NiMHCell(EnergyStorage):
         self.ocv_curve = curve
         self.overcharge_heat_joules = 0.0
         self.temperature_c = 25.0
+        # Fault-injection knobs (repro.faults): 1.0 means healthy.
+        self._self_discharge_multiplier = 1.0
+        self._esr_multiplier = 1.0
 
     # -- temperature ------------------------------------------------------------
 
@@ -97,7 +100,34 @@ class NiMHCell(EnergyStorage):
 
     def _self_discharge_acceleration(self) -> float:
         """Arrhenius-ish rate multiplier vs. the 25 C rating."""
-        return 2.0 ** ((self.temperature_c - 25.0) / 10.0)
+        rate = 2.0 ** ((self.temperature_c - 25.0) / 10.0)
+        return rate * self._self_discharge_multiplier
+
+    # -- fault injection ---------------------------------------------------------
+
+    def set_self_discharge_multiplier(self, multiplier: float) -> None:
+        """Scale the self-discharge rate (fault injection: leaky cell).
+
+        ``1.0`` is the healthy cell; a :class:`repro.faults.SelfDischargeSpike`
+        raises it for a window, modelling a soft internal short or a cell
+        soaked past its rating.
+        """
+        if multiplier < 0.0:
+            raise StorageError(
+                f"{self.name}: self-discharge multiplier must be >= 0"
+            )
+        self._self_discharge_multiplier = multiplier
+
+    def set_esr_multiplier(self, multiplier: float) -> None:
+        """Scale the internal resistance (fault injection: ESR drift).
+
+        ``1.0`` is the healthy cell; aged or dried-out cells sag harder
+        under the radio burst, which is exactly what pushes a marginal
+        node into brownout.
+        """
+        if multiplier <= 0.0:
+            raise StorageError(f"{self.name}: ESR multiplier must be > 0")
+        self._esr_multiplier = multiplier
 
     # -- electrical ----------------------------------------------------------
 
@@ -119,7 +149,7 @@ class NiMHCell(EnergyStorage):
             base *= 1.0 + 4.0 * (0.2 - soc) / 0.2
         if self.temperature_c < 25.0:
             base *= 1.0 + 0.02 * (25.0 - self.temperature_c)
-        return base
+        return base * self._esr_multiplier
 
     def stored_energy(self) -> float:
         """Integrate OCV over the remaining charge (trapezoid on the curve)."""

@@ -1,0 +1,59 @@
+"""The chaos Monte Carlo: pool-parallel, bit-identical, coherent stats."""
+
+import pytest
+
+from repro.campaigns import CHAOS_PROFILES, chaos_campaign, chaos_task
+from repro.errors import ConfigurationError
+
+TRIALS = 3
+DURATION_S = 1800.0
+
+
+def test_unknown_profile_rejected():
+    with pytest.raises(ConfigurationError):
+        chaos_task((600.0, "apocalypse"), seed=1)
+
+
+def test_profiles_cover_mild_and_harsh():
+    assert set(CHAOS_PROFILES) == {"mild", "harsh"}
+
+
+def test_campaign_bit_identical_across_worker_counts():
+    serial, _ = chaos_campaign(
+        trials=TRIALS, duration_s=DURATION_S, profile="harsh", workers=1
+    )
+    pooled, _ = chaos_campaign(
+        trials=TRIALS, duration_s=DURATION_S, profile="harsh", workers=4
+    )
+    assert serial == pooled
+
+
+def test_campaign_seeds_differ_per_trial():
+    outcomes, _ = chaos_campaign(
+        trials=TRIALS, duration_s=DURATION_S, profile="mild", workers=1
+    )
+    seeds = [out.seed for out in outcomes]
+    assert len(set(seeds)) == TRIALS
+
+
+def test_campaign_stats_account_for_every_trial():
+    outcomes, stats = chaos_campaign(
+        trials=TRIALS, duration_s=DURATION_S, profile="mild", workers=2
+    )
+    assert stats.tasks_total == TRIALS
+    assert stats.tasks_ok == TRIALS
+    assert stats.tasks_failed == 0
+    assert len(outcomes) == TRIALS
+
+
+def test_outcomes_are_internally_coherent():
+    outcomes, _ = chaos_campaign(
+        trials=TRIALS, duration_s=DURATION_S, profile="harsh", workers=1
+    )
+    for out in outcomes:
+        assert out.cycles >= 0
+        assert out.packets_delivered + out.packets_corrupted >= out.cycles
+        assert 0.0 <= out.outage_s <= DURATION_S
+        assert 0.0 <= out.final_soc <= 1.0
+        assert out.average_power_w > 0.0
+        assert out.survived == (out.brownouts == 0)

@@ -21,6 +21,7 @@ FAST_EXAMPLES = [
     "fleet_density.py",
     "car_monitor.py",
     "tpms_deployment.py",
+    "chaos_storm.py",
 ]
 
 
