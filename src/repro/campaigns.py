@@ -28,7 +28,13 @@ from .board import (
     monte_carlo_yield,
 )
 from .board.pcb import PadRing
-from .core import NodeConfig, PicoCube, audit_node, build_tpms_node
+from .core import (
+    NodeConfig,
+    PicoCube,
+    audit_node,
+    build_steady_tpms_node,
+    build_tpms_node,
+)
 from .errors import ConfigurationError
 from .faults import FaultInjector, random_schedule
 from .harvest import (
@@ -526,3 +532,45 @@ def node_hours_task(params: Tuple[float, str]) -> Tuple[int, float]:
     node = build_tpms_node(fidelity=fidelity)
     node.run(duration_s)
     return (node.cycles_completed, node.average_power())
+
+
+def steady_node_task(
+    params: Tuple[float, bool]
+) -> Tuple[int, float, int, int]:
+    """Steady-cruise TPMS run, optionally cycle-fast-forwarded.
+
+    ``params = (duration_s, fast_forward)``.  Returns ``(cycles, avg
+    power, leaps, cycles_replayed)``.  The fast-forward exactness
+    contract (see ``docs/PERF.md``) makes the first two fields
+    bit-identical for both values of ``fast_forward``, so campaigns can
+    flip the flag per grid cell for speed without changing results.
+    """
+    duration_s, fast_forward = params
+    node = build_steady_tpms_node(fast_forward=fast_forward)
+    node.run(duration_s)
+    accelerator = node.fast_forward
+    return (
+        node.cycles_completed,
+        node.average_power(),
+        len(accelerator.leaps) if accelerator is not None else 0,
+        accelerator.cycles_replayed if accelerator is not None else 0,
+    )
+
+
+def steady_endurance_campaign(
+    durations_s: Sequence[float],
+    fast_forward: bool = True,
+    workers: Optional[int] = None,
+) -> Tuple[List[Tuple[float, Tuple[int, float, int, int]]], CampaignStats]:
+    """Long steady-cruise runs fanned over the pool.
+
+    With ``fast_forward=True`` each worker leaps through its steady
+    spans, so year-scale durations fit in a campaign; the returned rows
+    are bit-identical to the event-by-event rows either way.
+    """
+    sweep = Sweep(
+        steady_node_task, name="steady-endurance", workers=workers
+    )
+    grid = [(float(d), fast_forward) for d in durations_s]
+    result = sweep.run(grid)
+    return list(zip(durations_s, result.values())), result.stats

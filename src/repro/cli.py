@@ -22,6 +22,11 @@ Commands
     Run a node and emit a markdown run report.
 ``chaos``
     Monte-Carlo seeded fault storms against a recovering node.
+``perf``
+    cProfile one scenario and print the hottest functions.
+
+(The name ``perf`` — rather than an overload of ``profile`` — keeps the
+Fig-6 *power* profile command intact; see ``docs/PERF.md``.)
 """
 
 from __future__ import annotations
@@ -32,13 +37,37 @@ from typing import List, Optional
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
-    from .core import audit_node, build_tpms_node, format_lifetime, projected_lifetime_s
+    from .core import (
+        audit_node,
+        build_steady_tpms_node,
+        build_tpms_node,
+        format_lifetime,
+        projected_lifetime_s,
+    )
 
-    node = build_tpms_node(power_train=args.train)
-    node.environment.set_speed_kmh(args.speed)
+    if args.fast_forward and not args.steady:
+        print("--fast-forward requires --steady (the drift-free scenario)",
+              file=sys.stderr)
+        return 2
+    if args.steady:
+        node = build_steady_tpms_node(
+            power_train=args.train,
+            speed_kmh=args.speed,
+            fast_forward=args.fast_forward,
+        )
+    else:
+        node = build_tpms_node(power_train=args.train)
+        node.environment.set_speed_kmh(args.speed)
     node.run(args.hours * 3600.0)
     audit = audit_node(node)
     print(audit.format_table())
+    if node.fast_forward is not None:
+        accelerator = node.fast_forward
+        print(
+            f"fast-forward: {len(accelerator.leaps)} leaps, "
+            f"{accelerator.cycles_replayed} cycles replayed "
+            f"({accelerator.time_skipped:.0f} s skipped)"
+        )
     print(f"packets transmitted {len(node.packets_sent)}")
     print(
         "battery-only lifetime at this draw: "
@@ -147,6 +176,61 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _perf_scenario_audit(hours: float) -> None:
+    from .core import audit_node, build_tpms_node
+
+    node = build_tpms_node()
+    node.run(hours * 3600.0)
+    audit_node(node)
+
+
+def _perf_scenario_steady(hours: float) -> None:
+    from .core import audit_node, build_steady_tpms_node
+
+    node = build_steady_tpms_node(fast_forward=True)
+    node.run(hours * 3600.0)
+    audit_node(node)
+
+
+def _perf_scenario_deploy(hours: float) -> None:
+    from .core import build_tpms_deployment
+
+    build_tpms_deployment().node.run(hours * 3600.0)
+
+
+def _perf_scenario_chaos(hours: float) -> None:
+    from .campaigns import chaos_campaign
+
+    chaos_campaign(trials=2, duration_s=hours * 3600.0, workers=1)
+
+
+PERF_SCENARIOS = {
+    "audit": _perf_scenario_audit,
+    "steady": _perf_scenario_steady,
+    "deploy": _perf_scenario_deploy,
+    "chaos": _perf_scenario_chaos,
+}
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    PERF_SCENARIOS[args.scenario](args.hours)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort)
+    print(f"scenario {args.scenario!r}, {args.hours} simulated hours; "
+          f"top {args.top} by {args.sort}:")
+    stats.print_stats(args.top)
+    if args.out is not None:
+        stats.dump_stats(args.out)
+        print(f"wrote {args.out} (inspect with python -m pstats)")
+    return 0
+
+
 def _cmd_stack(args: argparse.Namespace) -> int:
     from .board import standard_picocube
 
@@ -178,6 +262,12 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--train", choices=("cots", "ic"), default="cots")
     audit.add_argument("--speed", type=float, default=60.0,
                        help="vehicle speed, km/h")
+    audit.add_argument("--steady", action="store_true",
+                       help="drift-free steady-cruise scenario "
+                            "(full cell, constant harvest)")
+    audit.add_argument("--fast-forward", action="store_true",
+                       help="enable the cycle fast-forward accelerator "
+                            "(requires --steady; results bit-identical)")
     audit.set_defaults(handler=_cmd_audit)
 
     profile = sub.add_parser("profile", help="one on-cycle power profile")
@@ -212,6 +302,20 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=2008)
     chaos.add_argument("--workers", type=int, default=None)
     chaos.set_defaults(handler=_cmd_chaos)
+
+    perf = sub.add_parser(
+        "perf", help="cProfile a scenario (wall-clock, not power)"
+    )
+    perf.add_argument("scenario", choices=sorted(PERF_SCENARIOS))
+    perf.add_argument("--hours", type=float, default=1.0,
+                      help="simulated hours to run under the profiler")
+    perf.add_argument("--top", type=int, default=25,
+                      help="how many functions to print")
+    perf.add_argument("--sort", choices=("cumulative", "tottime", "ncalls"),
+                      default="cumulative")
+    perf.add_argument("--out", default=None, metavar="FILE",
+                      help="also dump raw pstats data to FILE")
+    perf.set_defaults(handler=_cmd_perf)
     return parser
 
 

@@ -4,8 +4,10 @@ from .builder import (
     TpmsDeployment,
     build_demo_bench,
     build_motion_node,
+    build_steady_tpms_node,
     build_tpms_deployment,
     build_tpms_node,
+    equilibrate_tire_environment,
 )
 from .config import NodeConfig
 from .energy_audit import (
@@ -15,6 +17,7 @@ from .energy_audit import (
     is_energy_neutral,
     projected_lifetime_s,
 )
+from .fastforward import CycleFastForward, LeapRecord
 from .node import BrownoutEvent, PicoCube
 from .power_train import (
     CotsPowerTrain,
@@ -36,8 +39,10 @@ __all__ = [
     "DEFAULT_LADDER",
     "PolicyRung",
     "CotsPowerTrain",
+    "CycleFastForward",
     "CycleProfile",
     "EnergyAudit",
+    "LeapRecord",
     "IcPowerTrain",
     "LoadState",
     "NodeConfig",
@@ -50,9 +55,11 @@ __all__ = [
     "audit_node",
     "build_demo_bench",
     "build_motion_node",
+    "build_steady_tpms_node",
     "build_tpms_deployment",
     "build_tpms_node",
     "capture_cycle_profile",
+    "equilibrate_tire_environment",
     "format_lifetime",
     "is_energy_neutral",
     "make_power_train",

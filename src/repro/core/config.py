@@ -32,6 +32,16 @@ class NodeConfig:
     climbs back past ``recovery_voltage_v`` (checked every
     ``recovery_check_period_s``).  Off by default — the as-built cube has
     no supervised restart, so a brownout is terminal unless opted in.
+
+    ``fast_forward`` arms the steady-state cycle accelerator
+    (:mod:`repro.core.fastforward`): once the node provably repeats its
+    duty cycle bit-for-bit, whole spans are replayed analytically instead
+    of event-by-event — same results, orders of magnitude faster on
+    year-scale horizons.  ``ff_charge_quantum`` (coulombs) quantizes the
+    cell charge in the steady-state hash so a cell drifting below the
+    quantum can still nominate a period; exactness is unaffected (leaps
+    are gated on bit-exact verification regardless), 0 disables
+    quantization.  See ``docs/PERF.md``.
     """
 
     node_id: int = 1
@@ -46,6 +56,8 @@ class NodeConfig:
     brownout_recovery: bool = False
     recovery_voltage_v: float = 1.1
     recovery_check_period_s: float = 30.0
+    fast_forward: bool = False
+    ff_charge_quantum: float = 0.0
 
     def __post_init__(self) -> None:
         if not 0 <= self.node_id <= 255:
@@ -76,3 +88,5 @@ class NodeConfig:
             raise ConfigurationError("recovery_voltage_v must be positive")
         if self.recovery_check_period_s <= 0.0:
             raise ConfigurationError("recovery_check_period_s must be positive")
+        if self.ff_charge_quantum < 0.0:
+            raise ConfigurationError("ff_charge_quantum must be >= 0")

@@ -31,6 +31,7 @@ from ..sim import Engine, PeriodicTimer, PowerRecorder, spawn
 from ..sim.process import Process
 from ..storage import NiMHCell, TrickleCharger
 from .config import NodeConfig
+from .fastforward import CycleFastForward
 from .power_train import LoadState, make_power_train
 
 
@@ -114,12 +115,20 @@ class PicoCube:
         self._recovery_timer: Optional[PeriodicTimer] = None
         self._charger: Optional[TrickleCharger] = None
         self._charge_current_fn: Optional[Callable[[float], float]] = None
+        self._charger_time_invariant = False
         self._charge_timer: Optional[PeriodicTimer] = None
         # Fault-injection hooks (repro.faults): harvest derating scales the
         # charger's input; the packet filter decides per-packet delivery.
         self._harvest_derating = 1.0
         self.packet_filter: Optional[Callable[[PicoPacket, float], bool]] = None
         self._seq = 0
+        # Steady-state cycle accelerator (see repro.core.fastforward);
+        # None unless config.fast_forward opts in.
+        self.fast_forward: Optional[CycleFastForward] = (
+            CycleFastForward(self, charge_quantum=self.config.ff_charge_quantum)
+            if self.config.fast_forward
+            else None
+        )
         self.mcu.enter(Mode.LPM3)
         self._update()
 
@@ -369,6 +378,8 @@ class PicoCube:
         if duration < 0.0:
             raise SimulationError("duration must be >= 0")
         self.start()
+        if self.fast_forward is not None:
+            self.fast_forward.set_horizon(self.engine.now + duration)
         self.engine.run_until(self.engine.now + duration)
         self._sync_battery()
         self._update_recorder_tail()
@@ -385,17 +396,25 @@ class PicoCube:
         self,
         charging_current_fn: Callable[[float], float],
         update_period_s: float = 60.0,
+        time_invariant: bool = False,
     ) -> None:
         """Feed the battery from a harvester.
 
         ``charging_current_fn(t)`` returns the average rectified charging
         current (A) around simulation time ``t``; a periodic task applies
         it through the C/10 trickle limiter.
+
+        Declare ``time_invariant=True`` when the function's result does
+        not depend on ``t`` (a constant-vibration harvester).  The cycle
+        fast-forward accelerator only leaps past spans whose harvest it
+        can replay, so a time-varying charger (a drive cycle) keeps the
+        node on the exact event-by-event path automatically.
         """
         if self._charge_timer is not None:
             raise ConfigurationError("a charger is already attached")
         self._charger = TrickleCharger(self.battery)
         self._charge_current_fn = charging_current_fn
+        self._charger_time_invariant = bool(time_invariant)
 
         def tick() -> None:
             self._sync_battery()
@@ -475,6 +494,8 @@ class PicoCube:
         self._seq = (self._seq + 1) & 0xFF
         self.cycles_completed += 1
         self._cycle_active = False
+        if self.fast_forward is not None:
+            self.fast_forward.on_cycle_complete()
 
     def _motion_burst(self):
         """Motion demo: stream samples while the cube is being handled."""

@@ -8,6 +8,14 @@ power recorder used by every electrical model in the package.
 from .clock import PeriodicTimer
 from .export import recorder_to_csv, trace_to_csv, write_csv
 from .engine import Engine
+from .fastforward import (
+    CycleCandidate,
+    SteadyStateDetector,
+    extract_template,
+    max_leap_count,
+    next_octave_boundary,
+    windows_match,
+)
 from .events import (
     Event,
     EventHandle,
@@ -18,9 +26,10 @@ from .events import (
 )
 from .process import Process, Signal, spawn
 from .recorder import PowerRecorder
-from .trace import StepTrace, sum_traces
+from .trace import StepTrace, TraceCursor, sum_traces
 
 __all__ = [
+    "CycleCandidate",
     "Engine",
     "Event",
     "EventHandle",
@@ -29,8 +38,14 @@ __all__ = [
     "Process",
     "Signal",
     "StepTrace",
+    "SteadyStateDetector",
+    "TraceCursor",
+    "extract_template",
     "make_repeating",
+    "max_leap_count",
+    "next_octave_boundary",
     "spawn",
+    "windows_match",
     "recorder_to_csv",
     "sum_traces",
     "trace_to_csv",

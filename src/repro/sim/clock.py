@@ -39,6 +39,14 @@ class PeriodicTimer:
         self._epoch = 0.0
         self._tick = 0
         self.fired_count = 0
+        # When Engine.warp jumps the clock, the pending tick's heap entry
+        # moves with it; the epoch must move too so the next reschedule's
+        # drift-free `epoch + k * period` lands where the shifted entry
+        # says.  Registered once, for the timer's lifetime.
+        self._unregister_warp = engine.register_warp_hook(self._on_warp)
+
+    def _on_warp(self, offset: float) -> None:
+        self._epoch += offset
 
     @property
     def running(self) -> bool:

@@ -33,6 +33,11 @@ class Engine:
     run-to-run.
     """
 
+    #: Compact the heap once it holds this many entries and more than
+    #: half of them are cancelled corpses.  Keeps heap size O(live) even
+    #: under cancel-heavy workloads (fault campaigns, timer churn).
+    COMPACT_MIN_SIZE = 64
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._heap: List[Event] = []
@@ -42,6 +47,9 @@ class Engine:
         # Live (scheduled, not yet fired or cancelled) event count,
         # maintained on schedule/cancel/pop so pending_count is O(1).
         self._live = 0
+        # Callbacks invoked with the time offset whenever warp() shifts
+        # the clock, so periodic timers can move their epochs along.
+        self._warp_hooks: List[Callable[[float], None]] = []
 
     # -- inspection --------------------------------------------------------
 
@@ -111,7 +119,61 @@ class Engine:
         self._sequence += 1
         self._live += 1
         heapq.heappush(self._heap, event)
+        if (
+            len(self._heap) >= self.COMPACT_MIN_SIZE
+            and self._live * 2 < len(self._heap)
+        ):
+            self._compact()
         return EventHandle(event)
+
+    # -- time warp (cycle fast-forward support) ----------------------------
+
+    def register_warp_hook(self, hook: Callable[[float], None]) -> Callable[[], None]:
+        """Register ``hook(offset)`` to run whenever :meth:`warp` fires.
+
+        Periodic timers use this to shift their tick epochs so the
+        drift-free ``epoch + k * period`` arithmetic stays consistent
+        after a jump.  Returns an unregister function.
+        """
+        self._warp_hooks.append(hook)
+
+        def unregister() -> None:
+            try:
+                self._warp_hooks.remove(hook)
+            except ValueError:
+                pass
+
+        return unregister
+
+    def warp(self, offset: float) -> None:
+        """Jump the clock forward by ``offset`` seconds.
+
+        Every pending event (live or cancelled) moves with the clock: the
+        whole schedule is translated rigidly, which preserves heap order,
+        relative timing, and same-instant priorities exactly.  This is
+        the primitive the cycle fast-forward accelerator uses to skip
+        verified-repeating wake cycles; it never fires callbacks.
+        """
+        if offset < 0.0:
+            raise SchedulingError(f"cannot warp backwards by {offset} s")
+        if offset == 0.0:
+            return
+        self._now += offset
+        for event in self._heap:
+            event.time += offset
+        for hook in self._warp_hooks:
+            hook(offset)
+
+    def account_replayed_events(self, count: int) -> None:
+        """Credit ``count`` events to the fired counter without running them.
+
+        Fast-forwarded cycles are replayed analytically rather than
+        executed; crediting keeps ``events_fired`` meaningful as "events
+        the simulation represents" in reports and benchmarks.
+        """
+        if count < 0:
+            raise SimulationError("replayed event count must be >= 0")
+        self._events_fired += count
 
     # -- execution ---------------------------------------------------------
 
@@ -192,7 +254,23 @@ class Engine:
             self.step()
             fired += 1
 
+    def pending_signature(self) -> tuple:
+        """Canonical snapshot of the pending schedule, relative to now.
+
+        A tuple of ``(time - now, priority, name)`` triples for every
+        live event, in firing order.  Two engine states with equal
+        signatures have the same future schedule up to a rigid time
+        translation — the property the steady-state detector hashes.
+        """
+        live = sorted(e for e in self._heap if not e.cancelled)
+        return tuple((e.time - self._now, e.priority, e.name) for e in live)
+
     # -- internals ---------------------------------------------------------
+
+    def _compact(self) -> None:
+        """Shed cancelled corpses so heap size stays O(live events)."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
 
     def _note_cancelled(self) -> None:
         self._live -= 1

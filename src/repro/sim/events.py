@@ -24,24 +24,63 @@ PRIORITY_MEASURE = 20
 """Probes and recorders run last so they observe the settled state."""
 
 
-@dataclasses.dataclass(order=True)
 class Event:
     """A scheduled callback.
 
     Instances are ordered by ``(time, priority, sequence)``; ``callback``
     and the bookkeeping fields are excluded from comparison.
+
+    This is the engine's heap entry, and a node simulation allocates one
+    per event — millions over a long run — so it is deliberately
+    allocation-lean: ``__slots__`` instead of a dict, and a hand-written
+    ``__lt__`` that compares fields directly instead of building
+    comparison tuples on every heap sift (the profiler's former top hit).
     """
 
-    time: float
-    priority: int
-    sequence: int
-    callback: Callable[[], None] = dataclasses.field(compare=False)
-    name: str = dataclasses.field(compare=False, default="")
-    cancelled: bool = dataclasses.field(compare=False, default=False)
-    fired: bool = dataclasses.field(compare=False, default=False)
-    on_cancel: Optional[Callable[[], None]] = dataclasses.field(
-        compare=False, default=None, repr=False
+    __slots__ = (
+        "time", "priority", "sequence", "callback", "name",
+        "cancelled", "fired", "on_cancel",
     )
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        callback: Callable[[], None],
+        name: str = "",
+        on_cancel: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.name = name
+        self.cancelled = False
+        self.fired = False
+        self.on_cancel = on_cancel
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.sequence < other.sequence
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.priority == other.priority
+            and self.sequence == other.sequence
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Event(t={self.time}, prio={self.priority}, "
+            f"seq={self.sequence}, name={self.name!r})"
+        )
 
     def cancel(self) -> None:
         """Mark this event so the engine skips it when popped.

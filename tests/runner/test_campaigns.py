@@ -11,6 +11,7 @@ from repro.campaigns import (
     alignment_yield_campaign,
     energy_neutral_campaign,
     fleet_density_campaign,
+    steady_endurance_campaign,
     temperature_campaign,
     topology_campaign,
     yield_table_campaign,
@@ -95,3 +96,20 @@ def test_energy_neutral_campaign_catalogue():
     assert by_name["MEMS vibration + plain rectifier"] == 0.0
     assert by_name["MEMS vibration + boost rectifier"] > 0.0
     assert stats.tasks_failed == 0
+
+
+def test_steady_endurance_campaign_ff_transparent():
+    """Flipping fast_forward changes wall time, never results: the
+    campaign's cycle and power columns are bit-identical either way."""
+    durations = [3600.0, 7200.0]
+    fast_rows, fast_stats = steady_endurance_campaign(
+        durations, fast_forward=True, workers=1
+    )
+    plain_rows, _ = steady_endurance_campaign(
+        durations, fast_forward=False, workers=1
+    )
+    assert fast_stats.tasks_ok == 2
+    for (d_fast, fast), (d_plain, plain) in zip(fast_rows, plain_rows):
+        assert d_fast == d_plain
+        assert fast[:2] == plain[:2]  # (cycles, avg power) bit-identical
+        assert plain[2:] == (0, 0)  # the plain leg never leaps

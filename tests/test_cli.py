@@ -73,3 +73,35 @@ def test_stack_command(capsys):
 def test_invalid_train_rejected():
     with pytest.raises(SystemExit):
         main(["audit", "--train", "fusion"])
+
+
+def test_audit_steady_fast_forward(capsys):
+    code, out = run_cli(capsys, "audit", "--hours", "0.2", "--steady",
+                        "--fast-forward")
+    assert code == 0
+    assert "average power" in out
+    assert "fast-forward:" in out
+
+
+def test_audit_fast_forward_requires_steady(capsys):
+    assert main(["audit", "--fast-forward"]) == 2
+
+
+def test_perf_command(capsys):
+    code, out = run_cli(capsys, "perf", "audit", "--hours", "0.02",
+                        "--top", "5")
+    assert code == 0
+    assert "cumulative" in out
+    assert "function calls" in out
+
+
+def test_perf_command_writes_pstats(capsys, tmp_path):
+    out_file = tmp_path / "profile.pstats"
+    code, out = run_cli(capsys, "perf", "steady", "--hours", "0.02",
+                        "--out", str(out_file))
+    assert code == 0
+    assert out_file.exists()
+    import pstats
+
+    stats = pstats.Stats(str(out_file))
+    assert stats.total_calls > 0
