@@ -79,8 +79,11 @@ def main() -> None:
     )
     print(f"  rear-right leak detected:   {'YES' if leak_called else 'NO'}")
     print(f"  front-left silence flagged: {'YES' if silence_called else 'NO'}")
-    print(f"  healthy wheels stayed quiet: "
-          f"{'YES' if not any(a.node_id in (2, 3) and a.kind != 'sequence-gap' for a in station.alarms) else 'NO'}")
+    healthy_quiet = not any(
+        a.node_id in (2, 3) and a.kind != "sequence-gap"
+        for a in station.alarms
+    )
+    print(f"  healthy wheels stayed quiet: {'YES' if healthy_quiet else 'NO'}")
 
 
 if __name__ == "__main__":

@@ -46,8 +46,11 @@ def main() -> None:
     # The power story: deep sleep except while handled.
     print(f"\naverage node power over the session: "
           f"{node.average_power() * 1e6:.1f} uW")
-    print(f"cycles only while moving: "
-          f"{all(any(iv.start_s - 0.1 <= t <= iv.end_s + 0.5 for iv in intervals) for t in node.cycle_start_times)}")
+    only_while_moving = all(
+        any(iv.start_s - 0.1 <= t <= iv.end_s + 0.5 for iv in intervals)
+        for t in node.cycle_start_times
+    )
+    print(f"cycles only while moving: {only_while_moving}")
 
     # Out-of-range check: move the bench to 5 m and watch the link die.
     far_bench = build_demo_bench()

@@ -15,7 +15,19 @@ Quick start::
     print(audit_node(node).format_table())
 """
 
-from . import board, core, faults, harvest, mcu, net, power, radio, sensors, sim, storage
+from . import (
+    board,
+    core,
+    faults,
+    harvest,
+    mcu,
+    net,
+    power,
+    radio,
+    sensors,
+    sim,
+    storage,
+)
 from . import errors, units
 from .core import (
     NodeConfig,

@@ -1,0 +1,95 @@
+"""Domain-aware static analysis for the PicoCube reproduction.
+
+The codebase rests on two conventions that ordinary linters cannot
+see: every quantity carries an SI unit suffix (``_v``, ``_a``, ``_w``,
+``_s``…, see :mod:`repro.units`), and every stochastic or time-varying
+behaviour is deterministically seeded so runs replay bit-exactly.
+This package enforces both — plus a handful of API contracts — at the
+AST level, before a simulation ever runs:
+
+- **Unit rules** (``UNIT001``–``UNIT003``): suffix-mismatched argument
+  bindings, mixed-dimension ``+``/``-``, and bare ``1e-…`` SI literals.
+- **Determinism rules** (``DET001``–``DET003``): unseeded ``random.*``
+  draws, wall-clock reads inside ``repro.sim``/``repro.core``, and
+  unsorted set iteration in the replay hot paths.
+- **Contract rules** (``API001``–``API003``): unfrozen fault-event
+  dataclasses, missing ``__slots__`` on registered hot-path classes,
+  and mutable default arguments.
+
+Run it as ``python -m repro lint [--json] [--baseline PATH]
+[--update-baseline] [paths…]``; see ``docs/LINTING.md`` for the rule
+catalogue and the baseline workflow.
+"""
+
+from .baseline import load_baseline, split_by_baseline, write_baseline
+from .dimensions import SUFFIX_DIMENSIONS, dimension_of_name
+from .driver import (
+    ModuleContext,
+    ProjectIndex,
+    Rule,
+    analyze_paths,
+    iter_python_files,
+)
+from .findings import SEVERITY_ERROR, SEVERITY_WARNING, Finding
+from .report import render_json, render_text
+from .rules_contracts import (
+    SLOTS_REGISTRY,
+    MissingSlotsRule,
+    MutableDefaultRule,
+    UnfrozenFaultEventRule,
+)
+from .rules_determinism import (
+    UnorderedIterationRule,
+    UnseededRandomRule,
+    WallClockRule,
+)
+from .rules_units import (
+    UnitBareSiLiteralRule,
+    UnitBindingMismatchRule,
+    UnitMixedArithmeticRule,
+)
+
+
+def default_rules():
+    """Fresh instances of every registered rule, in report order."""
+    return [
+        UnitBindingMismatchRule(),
+        UnitMixedArithmeticRule(),
+        UnitBareSiLiteralRule(),
+        UnseededRandomRule(),
+        WallClockRule(),
+        UnorderedIterationRule(),
+        UnfrozenFaultEventRule(),
+        MissingSlotsRule(),
+        MutableDefaultRule(),
+    ]
+
+
+__all__ = [
+    "Finding",
+    "MissingSlotsRule",
+    "ModuleContext",
+    "MutableDefaultRule",
+    "ProjectIndex",
+    "Rule",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "SLOTS_REGISTRY",
+    "SUFFIX_DIMENSIONS",
+    "UnfrozenFaultEventRule",
+    "UnitBareSiLiteralRule",
+    "UnitBindingMismatchRule",
+    "UnitMixedArithmeticRule",
+    "UnorderedIterationRule",
+    "UnseededRandomRule",
+    "WallClockRule",
+    "analyze_paths",
+    "default_rules",
+    "dimension_of_name",
+    "iter_python_files",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "split_by_baseline",
+    "write_baseline",
+]

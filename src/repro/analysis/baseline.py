@@ -1,0 +1,75 @@
+"""Baseline files: ratchet new findings to zero without a flag day.
+
+A baseline is a committed JSON list of finding fingerprints (rule id +
+file + stripped source line, hashed).  ``repro lint`` subtracts the
+baseline from the current findings; only *new* violations fail the
+build.  Fixing a baselined line removes its fingerprint naturally —
+the hash covers the line's text, not its number — so the baseline can
+only shrink unless someone deliberately regenerates it with
+``--update-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: pathlib.Path) -> Set[str]:
+    """Fingerprints recorded in ``path`` (empty set if absent)."""
+    if not path.is_file():
+        return set()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} "
+            f"in {path}"
+        )
+    return {entry["fingerprint"] for entry in data.get("findings", [])}
+
+
+def write_baseline(path: pathlib.Path,
+                   findings: Sequence[Finding]) -> None:
+    """Record ``findings`` as the accepted debt, sorted and justified.
+
+    Hand-written ``reason`` annotations on existing entries survive a
+    regeneration: justifying accepted debt is the whole point of a
+    committed baseline.
+    """
+    reasons = {}
+    if path.is_file():
+        previous = json.loads(path.read_text(encoding="utf-8"))
+        reasons = {entry["fingerprint"]: entry["reason"]
+                   for entry in previous.get("findings", [])
+                   if "reason" in entry}
+    entries = [
+        {
+            "fingerprint": f.fingerprint,
+            "rule": f.rule_id,
+            "path": f.path,
+            "snippet": f.snippet,
+            **({"reason": reasons[f.fingerprint]}
+               if f.fingerprint in reasons else {}),
+        }
+        for f in sorted(findings, key=Finding.sort_key)
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+def split_by_baseline(
+        findings: Iterable[Finding],
+        baseline: Set[str]) -> Tuple[List[Finding], List[Finding]]:
+    """Partition into (new, suppressed-by-baseline)."""
+    new: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        (suppressed if finding.fingerprint in baseline else new).append(
+            finding)
+    return new, suppressed

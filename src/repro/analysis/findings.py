@@ -1,0 +1,57 @@
+"""The :class:`Finding` record every rule emits, and its fingerprint.
+
+A finding pins a rule violation to ``path:line:col`` with a severity
+and message.  The *fingerprint* deliberately hashes the rule id, the
+file, and the stripped source line — not the line *number* — so a
+baseline entry survives unrelated edits that shift code up or down,
+but dies with the offending line itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Dict
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+_SEVERITY_ORDER = {SEVERITY_ERROR: 0, SEVERITY_WARNING: 1}
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str          # posix-style path, relative to the lint root
+    line: int          # 1-based
+    col: int           # 0-based, as ast reports it
+    rule_id: str       # e.g. "UNIT001"
+    rule_name: str     # e.g. "unit-keyword-mismatch"
+    severity: str      # SEVERITY_ERROR or SEVERITY_WARNING
+    message: str
+    snippet: str       # the stripped source line, for baselines/reports
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline suppression."""
+        payload = f"{self.rule_id}|{self.path}|{self.snippet}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def sort_key(self):
+        return (self.path, self.line, self.col,
+                _SEVERITY_ORDER.get(self.severity, 9), self.rule_id)
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-reporter payload (stable key set)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "name": self.rule_name,
+            "severity": self.severity,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }

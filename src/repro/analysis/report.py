@@ -1,0 +1,49 @@
+"""Text and JSON reporters for lint findings."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from .findings import Finding
+
+
+def render_text(new: Sequence[Finding],
+                suppressed_count: int = 0) -> str:
+    """Human-readable report, one ``path:line:col`` line per finding."""
+    lines: List[str] = []
+    for f in new:
+        lines.append(
+            f"{f.path}:{f.line}:{f.col + 1}: {f.rule_id} "
+            f"[{f.severity}] {f.message}"
+        )
+        if f.snippet:
+            lines.append(f"    {f.snippet}")
+    errors = sum(1 for f in new if f.severity == "error")
+    warnings = len(new) - errors
+    summary = (f"{len(new)} finding(s): {errors} error(s), "
+               f"{warnings} warning(s)")
+    if suppressed_count:
+        summary += f"; {suppressed_count} baselined"
+    if not new:
+        summary = "clean: no new findings"
+        if suppressed_count:
+            summary += f" ({suppressed_count} baselined)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(new: Sequence[Finding],
+                suppressed: Sequence[Finding]) -> str:
+    """Machine-readable report (the CI artifact)."""
+    payload = {
+        "findings": [f.to_json() for f in new],
+        "suppressed": [f.to_json() for f in suppressed],
+        "summary": {
+            "new": len(new),
+            "errors": sum(1 for f in new if f.severity == "error"),
+            "warnings": sum(1 for f in new if f.severity == "warning"),
+            "baselined": len(suppressed),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,240 @@
+"""Unit-dimension rules: the suffix convention, machine-enforced.
+
+Three rules share the inference helpers in
+:mod:`repro.analysis.dimensions`:
+
+``UNIT001 unit-binding-mismatch``
+    A value with one dimension bound to a name with another — keyword
+    arguments (``set_bias(voltage_v=limit_a)``), positional arguments
+    (resolved through the project-wide function index), and plain
+    assignments to suffixed names or attributes.
+
+``UNIT002 unit-mixed-arithmetic``
+    ``+``/``-`` across different dimensions (``drop_v + load_a``),
+    including the link-budget special cases: a relative ``_db`` gain
+    may shift an absolute ``_dbm`` level, but adding two absolute
+    levels is flagged.
+
+``UNIT003 unit-bare-si-literal``
+    A scientific-notation SI literal (``20e-6``, ``1.5e-3``) bound into
+    a dimensioned context where :func:`repro.units.micro` and friends
+    exist precisely to carry the prefix readably.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from .dimensions import (
+    combine,
+    dimension_of_expr,
+    dimension_of_name,
+    si_literal_parts,
+)
+from .driver import ModuleContext, ProjectIndex, Rule
+from .findings import SEVERITY_ERROR, SEVERITY_WARNING, Finding
+
+
+def _callee_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class UnitBindingMismatchRule(Rule):
+    """Dimension of a bound value disagrees with the receiving name."""
+
+    rule_id = "UNIT001"
+    rule_name = "unit-binding-mismatch"
+    severity = SEVERITY_ERROR
+    description = ("argument or assignment whose unit suffix disagrees "
+                   "with the receiving parameter/name suffix")
+
+    def check(self, ctx: ModuleContext,
+              index: ProjectIndex) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, index, node)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    yield from self._check_bind(ctx, target, node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                yield from self._check_bind(ctx, node.target, node.value)
+
+    def _check_bind(self, ctx: ModuleContext, target: ast.AST,
+                    value: ast.AST) -> Iterator[Finding]:
+        if isinstance(target, ast.Name):
+            target_dim, label = dimension_of_name(target.id), target.id
+        elif isinstance(target, ast.Attribute):
+            target_dim, label = dimension_of_name(target.attr), target.attr
+        else:
+            return
+        value_dim = dimension_of_expr(ctx.source, value)
+        if target_dim and value_dim and target_dim != value_dim:
+            yield self.finding(
+                ctx, target,
+                f"assigning {value_dim} value to {target_dim} name "
+                f"`{label}`",
+            )
+
+    def _check_call(self, ctx: ModuleContext, index: ProjectIndex,
+                    node: ast.Call) -> Iterator[Finding]:
+        for kw in node.keywords:
+            if kw.arg is None:
+                continue
+            param_dim = dimension_of_name(kw.arg)
+            arg_dim = dimension_of_expr(ctx.source, kw.value)
+            if param_dim and arg_dim and param_dim != arg_dim:
+                yield self.finding(
+                    ctx, kw.value,
+                    f"keyword `{kw.arg}` expects {param_dim} but the "
+                    f"argument carries {arg_dim}",
+                )
+        name = _callee_name(node.func)
+        info = index.lookup(name) if name else None
+        if info is None:
+            return
+        for param, arg in zip(info.params, node.args):
+            if isinstance(arg, ast.Starred):
+                break
+            param_dim = dimension_of_name(param)
+            arg_dim = dimension_of_expr(ctx.source, arg)
+            if param_dim and arg_dim and param_dim != arg_dim:
+                yield self.finding(
+                    ctx, arg,
+                    f"positional argument for `{param}` of `{name}()` "
+                    f"expects {param_dim} but carries {arg_dim}",
+                )
+
+
+class UnitMixedArithmeticRule(Rule):
+    """``+``/``-`` across two different dimensions."""
+
+    rule_id = "UNIT002"
+    rule_name = "unit-mixed-arithmetic"
+    severity = SEVERITY_ERROR
+    description = "addition/subtraction across different unit dimensions"
+
+    def check(self, ctx: ModuleContext,
+              index: ProjectIndex) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp):
+                left = dimension_of_expr(ctx.source, node.left)
+                right = dimension_of_expr(ctx.source, node.right)
+                _dim, problem = combine(node.op, left, right)
+                if problem:
+                    yield self.finding(ctx, node, problem)
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                    node.op, (ast.Add, ast.Sub)):
+                left = dimension_of_expr(ctx.source, node.target)
+                right = dimension_of_expr(ctx.source, node.value)
+                _dim, problem = combine(node.op, left, right)
+                if problem:
+                    yield self.finding(ctx, node, problem)
+
+
+class UnitBareSiLiteralRule(Rule):
+    """Bare ``1e-…`` literal in a dimensioned context."""
+
+    rule_id = "UNIT003"
+    rule_name = "unit-bare-si-literal"
+    severity = SEVERITY_WARNING
+    description = ("scientific-notation SI literal where the "
+                   "repro.units milli/micro/nano/pico helpers apply")
+
+    def check(self, ctx: ModuleContext,
+              index: ProjectIndex) -> Iterator[Finding]:
+        if ctx.module == "repro.units":
+            return  # the module that defines the helpers
+        seen: Set[Tuple[int, int]] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    yield from self._bind(ctx, seen, target, node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                yield from self._bind(ctx, seen, node.target, node.value)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._defaults(ctx, seen, node)
+            elif isinstance(node, ast.Call):
+                yield from self._call(ctx, index, seen, node)
+            elif isinstance(node, ast.BinOp) and isinstance(
+                    node.op, (ast.Add, ast.Sub)):
+                yield from self._arith(ctx, seen, node)
+
+    def _emit(self, ctx: ModuleContext, seen: Set[Tuple[int, int]],
+              literal: ast.AST, bound_to: str) -> Iterator[Finding]:
+        parts = si_literal_parts(ctx.source, literal)
+        if parts is None:
+            return
+        key = (literal.lineno, literal.col_offset)
+        if key in seen:
+            return
+        seen.add(key)
+        text, helper = parts
+        mantissa = text.lower().split("e")[0]
+        if "." not in mantissa:
+            mantissa += ".0"
+        yield self.finding(
+            ctx, literal,
+            f"bare SI literal {text} {bound_to}; "
+            f"use {helper}({mantissa}) from repro.units",
+        )
+
+    def _name_dim(self, node: ast.AST) -> Tuple[Optional[str], str]:
+        if isinstance(node, ast.Name):
+            return dimension_of_name(node.id), node.id
+        if isinstance(node, ast.Attribute):
+            return dimension_of_name(node.attr), node.attr
+        return None, ""
+
+    def _bind(self, ctx, seen, target, value) -> Iterator[Finding]:
+        dim, label = self._name_dim(target)
+        if dim:
+            yield from self._emit(ctx, seen, value,
+                                  f"assigned to {dim} name `{label}`")
+
+    def _defaults(self, ctx, seen, node) -> Iterator[Finding]:
+        args = node.args
+        positional = args.posonlyargs + args.args
+        for arg, default in zip(positional[len(positional)
+                                           - len(args.defaults):],
+                                args.defaults):
+            if dimension_of_name(arg.arg):
+                yield from self._emit(
+                    ctx, seen, default,
+                    f"as default for parameter `{arg.arg}`")
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None and dimension_of_name(arg.arg):
+                yield from self._emit(
+                    ctx, seen, default,
+                    f"as default for parameter `{arg.arg}`")
+
+    def _call(self, ctx, index, seen, node) -> Iterator[Finding]:
+        for kw in node.keywords:
+            if kw.arg and dimension_of_name(kw.arg):
+                yield from self._emit(ctx, seen, kw.value,
+                                      f"passed as keyword `{kw.arg}`")
+        name = _callee_name(node.func)
+        info = index.lookup(name) if name else None
+        if info is None:
+            return
+        for param, arg in zip(info.params, node.args):
+            if isinstance(arg, ast.Starred):
+                break
+            if dimension_of_name(param):
+                yield from self._emit(
+                    ctx, seen, arg,
+                    f"passed for parameter `{param}` of `{name}()`")
+
+    def _arith(self, ctx, seen, node) -> Iterator[Finding]:
+        left = dimension_of_expr(ctx.source, node.left)
+        right = dimension_of_expr(ctx.source, node.right)
+        if left and not right:
+            yield from self._emit(ctx, seen, node.right,
+                                  f"in +/- with a {left} quantity")
+        elif right and not left:
+            yield from self._emit(ctx, seen, node.left,
+                                  f"in +/- with a {right} quantity")

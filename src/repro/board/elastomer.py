@@ -17,6 +17,7 @@ from __future__ import annotations
 import math
 
 from ..errors import ConfigurationError, GeometryError
+from ..units import milli
 
 
 class ElastomericConnector:
@@ -25,10 +26,10 @@ class ElastomericConnector:
     def __init__(
         self,
         name: str = "zebra",
-        wire_diameter_m: float = 0.05e-3,
-        pitch_m: float = 0.1e-3,
-        beam_height_m: float = 2.5e-3,
-        beam_thickness_m: float = 0.6e-3,
+        wire_diameter_m: float = milli(0.05),
+        pitch_m: float = milli(0.1),
+        beam_height_m: float = milli(2.5),
+        beam_thickness_m: float = milli(0.6),
         wire_resistance_ohm: float = 0.15,
         wire_current_limit_a: float = 0.1,
         compression_fraction: float = 0.10,

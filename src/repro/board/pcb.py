@@ -14,18 +14,19 @@ import dataclasses
 from typing import Dict, List, Optional
 
 from ..errors import ConfigurationError, GeometryError
+from ..units import milli
 
-BOARD_SIDE_M = 10.0e-3
+BOARD_SIDE_M = milli(10.0)
 """The cube's footprint: 1 cm on a side."""
 
-CONNECTOR_MARGIN_M = 1.4e-3
+CONNECTOR_MARGIN_M = milli(1.4)
 """Outer ring devoted to connectors and inner housing."""
 
 PADS_TOTAL = 18
 """Bus width: 18 pads around the ring on each face of every board."""
 
-PAD_LENGTH_M = 1.2e-3
-PAD_WIDTH_M = 1.0e-3
+PAD_LENGTH_M = milli(1.2)
+PAD_WIDTH_M = milli(1.0)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -113,7 +114,7 @@ class Pcb:
     def __init__(
         self,
         name: str,
-        thickness_m: float = 0.8e-3,
+        thickness_m: float = milli(0.8),
         metal_layers: int = 2,
         board_side_m: float = BOARD_SIDE_M,
         pad_ring: PadRing = None,

@@ -20,15 +20,16 @@ import dataclasses
 from typing import List, Optional
 
 from ..errors import ConfigurationError, GeometryError
+from ..units import milli, pico
 from .elastomer import ElastomericConnector
 from .pcb import Component, Pcb
 
-COMPONENT_CLEARANCE_M = 0.05e-3
+COMPONENT_CLEARANCE_M = milli(0.05)
 """Minimum air between a component and the board above it."""
 
-PAPER_RING_OD_M = 8.0e-3
-PAPER_RING_WALL_M = 0.4e-3
-PAPER_RING_HEIGHT_M = 2.33e-3
+PAPER_RING_OD_M = milli(8.0)
+PAPER_RING_WALL_M = milli(0.4)
+PAPER_RING_HEIGHT_M = milli(2.33)
 """The SLA spacer ring of paper §4.2 (used at the tallest gap)."""
 
 
@@ -47,10 +48,10 @@ class CubeStack:
     def __init__(
         self,
         name: str = "picocube",
-        base_m: float = 0.4e-3,
-        lid_m: float = 0.4e-3,
-        side_limit_m: float = 10.0e-3,
-        height_limit_m: float = 10.0e-3,
+        base_m: float = milli(0.4),
+        lid_m: float = milli(0.4),
+        side_limit_m: float = milli(10.0),
+        height_limit_m: float = milli(10.0),
         connector: Optional[ElastomericConnector] = None,
     ) -> None:
         if base_m < 0.0 or lid_m < 0.0:
@@ -80,7 +81,7 @@ class CubeStack:
         """
         if gap_above_m < 0.0:
             raise ConfigurationError(f"{self.name}: gap must be >= 0")
-        if pcb.board_side_m > self.side_limit_m + 1e-12:
+        if pcb.board_side_m > self.side_limit_m + pico(1.0):
             raise GeometryError(
                 f"{self.name}: board {pcb.name} side "
                 f"{pcb.board_side_m * 1e3:.1f} mm exceeds the tube's "
@@ -109,7 +110,7 @@ class CubeStack:
     def is_one_cubic_centimetre(self) -> bool:
         """Does the assembly honour the 1 cm^3 claim?"""
         return (
-            self.total_height() <= self.height_limit_m + 1e-12
+            self.total_height() <= self.height_limit_m + pico(1.0)
             and self.volume_cm3() <= 1.0 + 1e-9
         )
 
@@ -145,7 +146,7 @@ class CubeStack:
             if connector is not None:
                 connector.check_compression(gap)
         height = self.total_height()
-        if height > self.height_limit_m + 1e-12:
+        if height > self.height_limit_m + pico(1.0):
             raise GeometryError(
                 f"{self.name}: stack of {height * 1e3:.2f} mm exceeds the "
                 f"{self.height_limit_m * 1e3:.1f} mm tube"
@@ -159,7 +160,8 @@ class CubeStack:
         raise GeometryError(f"{self.name}: no board named {name!r}")
 
 
-def gap_matched_connector(gap_m: float, compression: float = 0.08) -> ElastomericConnector:
+def gap_matched_connector(
+        gap_m: float, compression: float = 0.08) -> ElastomericConnector:
     """Cut an elastomer segment whose free height compresses into ``gap_m``."""
     if gap_m <= 0.0:
         raise ConfigurationError("gap must be positive")
@@ -177,27 +179,27 @@ def standard_picocube() -> CubeStack:
     switch (power gates + radio supplies), radio (four-layer, antenna on
     top metal — no components above it).
     """
-    stack = CubeStack(lid_m=0.3e-3)
+    stack = CubeStack(lid_m=milli(0.3))
 
-    storage = Pcb("storage", thickness_m=0.7e-3)
+    storage = Pcb("storage", thickness_m=milli(0.7))
     storage.place(Component("nimh-cell", 7.0e-3, 5.5e-3, 1.85e-3, face="bottom"))
     storage.place(Component("bridge-rectifier", 2.0e-3, 2.0e-3, 0.7e-3))
     storage.place(Component("filter-caps", 3.2e-3, 1.6e-3, 0.65e-3))
 
-    controller = Pcb("controller", thickness_m=0.7e-3)
+    controller = Pcb("controller", thickness_m=milli(0.7))
     controller.place(Component("msp430-f1222", 6.4e-3, 6.4e-3, 0.8e-3))
 
-    sensor = Pcb("sensor", thickness_m=0.7e-3)
+    sensor = Pcb("sensor", thickness_m=milli(0.7))
     sensor.place(Component("sp12-analog-die", 2.5e-3, 2.5e-3, 0.4e-3))
     sensor.place(Component("sp12-digital-die", 2.5e-3, 2.5e-3, 0.4e-3))
     sensor.place(Component("charge-pump-tps60313", 3.0e-3, 3.0e-3, 0.8e-3))
 
-    switch = Pcb("switch", thickness_m=0.7e-3)
+    switch = Pcb("switch", thickness_m=milli(0.7))
     switch.place(Component("ldo-lt3020", 3.0e-3, 3.0e-3, 0.65e-3))
     switch.place(Component("analog-switches", 2.0e-3, 2.0e-3, 0.6e-3))
     switch.place(Component("shunt-regulator", 1.6e-3, 1.6e-3, 0.6e-3))
 
-    radio = Pcb("radio", thickness_m=1.65e-3, metal_layers=4)  # 64.8 mils
+    radio = Pcb("radio", thickness_m=milli(1.65), metal_layers=4)  # 64.8 mils
     radio.place(Component("fbar-die", 1.0e-3, 1.0e-3, 0.3e-3, face="bottom"))
     radio.place(Component("tx-die", 1.2e-3, 0.8e-3, 0.25e-3, face="bottom"))
     radio.place(Component("level-shifters", 2.0e-3, 1.5e-3, 0.5e-3, face="bottom"))
@@ -205,7 +207,7 @@ def standard_picocube() -> CubeStack:
 
     # Bottom-up, with the battery pocket folded into the base standoff: the
     # cell hangs below the storage board (silver epoxy, paper §4.5).
-    stack.base_m = 1.95e-3
+    stack.base_m = milli(1.95)
     gaps = [0.75e-3, 0.9e-3, 0.9e-3, 0.75e-3]
     boards = [storage, controller, sensor, switch]
     for pcb, gap in zip(boards, gaps):

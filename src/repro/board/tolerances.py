@@ -28,7 +28,9 @@ from __future__ import annotations
 import dataclasses
 import math
 import random
+
 from ..errors import ConfigurationError
+from ..units import milli
 from .elastomer import ElastomericConnector
 from .pcb import PadRing
 
@@ -48,7 +50,7 @@ class PadAlignmentModel:
         self,
         ring: PadRing = None,
         connector: ElastomericConnector = None,
-        pad_gap_m: float = 0.6e-3,
+        pad_gap_m: float = milli(0.6),
     ) -> None:
         if pad_gap_m <= 0.0:
             raise ConfigurationError("pad gap must be positive")

@@ -51,6 +51,7 @@ from .power.topologies import all_step_up_families
 from .runner import CampaignStats, MemoCache, MonteCarlo, Sweep
 from .sensors import TireEnvironment
 from .storage import NiMHCell
+from .units import milli
 
 # ---------------------------------------------------------------------------
 # E16 — step-up topology comparison tables
@@ -88,7 +89,7 @@ def alignment_model(kind: str) -> PadAlignmentModel:
         return PadAlignmentModel()
     if kind == "30-pad":
         return PadAlignmentModel(
-            ring=PadRing(pads_total=30, pad_length_m=0.7e-3), pad_gap_m=0.35e-3
+            ring=PadRing(pads_total=30, pad_length_m=milli(0.7)), pad_gap_m=milli(0.35)
         )
     raise ConfigurationError(f"unknown ring kind {kind!r}")
 

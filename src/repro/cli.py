@@ -24,6 +24,9 @@ Commands
     Monte-Carlo seeded fault storms against a recovering node.
 ``perf``
     cProfile one scenario and print the hottest functions.
+``lint``
+    Domain-aware static analysis (unit suffixes, determinism, API
+    contracts) over the source tree.
 
 (The name ``perf`` — rather than an overload of ``profile`` — keeps the
 Fig-6 *power* profile command intact; see ``docs/PERF.md``.)
@@ -231,6 +234,47 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .analysis import (
+        analyze_paths,
+        default_rules,
+        load_baseline,
+        render_json,
+        render_text,
+        split_by_baseline,
+        write_baseline,
+    )
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.rule_name:<28} "
+                  f"[{rule.severity}] {rule.description}")
+        return 0
+    paths = [pathlib.Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"no such path: {', '.join(map(str, missing))}",
+              file=sys.stderr)
+        return 2
+    findings = analyze_paths(paths, rules)
+    baseline_path = pathlib.Path(args.baseline)
+    if args.update_baseline:
+        write_baseline(baseline_path, findings)
+        print(f"wrote {baseline_path} ({len(findings)} finding(s) "
+              f"accepted as baseline)")
+        return 0
+    baseline = load_baseline(baseline_path)
+    new, suppressed = split_by_baseline(findings, baseline)
+    if args.json:
+        print(render_json(new, suppressed))
+    else:
+        print(render_text(new, suppressed_count=len(suppressed)))
+    return 1 if new else 0
+
+
 def _cmd_stack(args: argparse.Namespace) -> int:
     from .board import standard_picocube
 
@@ -316,6 +360,23 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--out", default=None, metavar="FILE",
                       help="also dump raw pstats data to FILE")
     perf.set_defaults(handler=_cmd_perf)
+
+    lint = sub.add_parser(
+        "lint", help="domain-aware static analysis of the source tree"
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the machine-readable report")
+    lint.add_argument("--baseline", default="lint-baseline.json",
+                      metavar="PATH",
+                      help="baseline file of accepted findings "
+                           "(default: lint-baseline.json if present)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="accept all current findings into the baseline")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
+    lint.set_defaults(handler=_cmd_lint)
     return parser
 
 

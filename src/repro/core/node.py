@@ -26,7 +26,13 @@ from ..mcu import Mode, Msp430, SpiMaster, motion_firmware, tpms_firmware
 from ..net.packet import PicoPacket, encode_accel_reading, encode_tpms_reading
 from ..net.framing import manchester_encode, ones_fraction
 from ..radio import FbarTransmitter, OokModulator
-from ..sensors import MotionEnvironment, MotionInterval, Sca3000, Sp12Tpms, TireEnvironment
+from ..sensors import (
+    MotionEnvironment,
+    MotionInterval,
+    Sca3000,
+    Sp12Tpms,
+    TireEnvironment,
+)
 from ..sim import Engine, PeriodicTimer, PowerRecorder, spawn
 from ..sim.process import Process
 from ..storage import NiMHCell, TrickleCharger

@@ -13,6 +13,7 @@ import dataclasses
 from typing import Dict, List, Tuple
 
 from ..errors import SimulationError
+from ..units import milli
 from .node import PicoCube
 
 
@@ -37,7 +38,7 @@ class CycleProfile:
 def capture_cycle_profile(
     node: PicoCube,
     cycle_index: int = 0,
-    pre_s: float = 1e-3,
+    pre_s: float = milli(1.0),
     post_s: float = 18e-3,
 ) -> CycleProfile:
     """Extract the power profile around one completed cycle."""

@@ -11,12 +11,12 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..errors import SimulationError
-from ..units import DAY, HOUR
+from ..units import DAY, HOUR, micro, milli
 from .energy_audit import audit_node, format_lifetime, projected_lifetime_s
 from .node import PicoCube
 
-PAPER_AVERAGE_W = 6e-6
-PAPER_CYCLE_S = 14e-3
+PAPER_AVERAGE_W = micro(6.0)
+PAPER_CYCLE_S = milli(14.0)
 
 
 def _fmt_duration(seconds: float) -> str:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..core.node import PicoCube
 from ..errors import ConfigurationError

@@ -23,6 +23,7 @@ import math
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..units import milli
 from .base import Harvester, SourceWaveform
 from .waveforms import sine
 
@@ -33,7 +34,7 @@ class ResonantVibrationHarvester(Harvester):
     def __init__(
         self,
         name: str = "vibration-resonator",
-        proof_mass_kg: float = 1e-3,
+        proof_mass_kg: float = milli(1.0),
         resonance_hz: float = 120.0,
         zeta_mechanical: float = 0.015,
         zeta_electrical: float = 0.015,

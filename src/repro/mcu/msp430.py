@@ -25,6 +25,7 @@ from __future__ import annotations
 import enum
 
 from ..errors import ConfigurationError
+from ..units import micro
 
 
 class Mode(enum.Enum):
@@ -54,7 +55,7 @@ class Msp430:
         i_lpm0: float = 32e-6,
         i_lpm3: float = 0.7e-6,
         i_lpm4: float = 0.1e-6,
-        wakeup_time_s: float = 6e-6,
+        wakeup_time_s: float = micro(6.0),
         v_min: float = 2.1,
         v_max: float = 3.6,
     ) -> None:

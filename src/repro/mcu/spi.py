@@ -10,6 +10,7 @@ the level-shifter dynamic energy).
 from __future__ import annotations
 
 from ..errors import ConfigurationError
+from ..units import micro
 
 
 class SpiMaster:
@@ -20,7 +21,7 @@ class SpiMaster:
         name: str = "usart0-spi",
         clock_hz: float = 500e3,
         bits_per_word: int = 8,
-        inter_word_gap_s: float = 2e-6,
+        inter_word_gap_s: float = micro(2.0),
     ) -> None:
         if clock_hz <= 0.0:
             raise ConfigurationError(f"{name}: clock must be positive")

@@ -23,7 +23,14 @@ from .packet import (
 )
 from .baseband import NoisyOokChannel, q_function
 from .basestation import Alarm, BaseStation, NodeTrack
-from .fleet import AirTimeRecord, FleetChannel, FleetStats, RetryPolicy, aloha_prediction, density_sweep
+from .fleet import (
+    AirTimeRecord,
+    FleetChannel,
+    FleetStats,
+    RetryPolicy,
+    aloha_prediction,
+    density_sweep,
+)
 from .receiver_chain import DemoReceiverChain, ReceptionStats
 
 __all__ = [

@@ -176,7 +176,8 @@ class FleetChannel:
             # The transmit phase starts a fixed offset into each cycle
             # (wake + sensing + formatting); measured once per node type.
             offset = self._transmit_offset(node)
-            for seq, start in enumerate(node.cycle_start_times[: len(node.packets_sent)]):
+            sent = node.cycle_start_times[: len(node.packets_sent)]
+            for seq, start in enumerate(sent):
                 records.append(
                     AirTimeRecord(
                         node_id=node.config.node_id,

@@ -25,6 +25,7 @@ large load ranges by varying the switching frequency" (paper §7.1).
 from __future__ import annotations
 
 import math
+
 from ..errors import ConfigurationError, ElectricalError
 from .base import Converter, OperatingPoint
 from .scnetwork import SCAnalysis, SCNetwork

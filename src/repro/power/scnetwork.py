@@ -285,7 +285,8 @@ class SCNetwork:
         one steady-state voltage per capacitor, plus the output voltage M
         (same in both phases because the output holds a large reservoir).
         """
-        unknowns: List[Tuple[str, object]] = [("cap", cap.name) for cap in self.capacitors]
+        unknowns: List[Tuple[str, object]] = [
+            ("cap", cap.name) for cap in self.capacitors]
         unknowns.append(("vout", None))
         for phase in (PHASE_1, PHASE_2):
             reps = sorted(set(groups[phase].values()))
@@ -452,7 +453,9 @@ class SCNetwork:
         source_charges = {
             key: float(solution[source_index[key]]) for key in source_keys
         }
-        if abs(source_charges[(VOUT, PHASE_1)] + source_charges[(VOUT, PHASE_2)] - 1.0) > 1e-6:
+        q_out = (source_charges[(VOUT, PHASE_1)]
+                 + source_charges[(VOUT, PHASE_2)])
+        if abs(q_out - 1.0) > 1e-6:
             raise ElectricalError(f"{self.name}: output charge normalisation failed")
         return cap_mult, source_charges
 

@@ -24,7 +24,7 @@ import dataclasses
 import math
 
 from ..errors import ConfigurationError
-from ..units import SPEED_OF_LIGHT, mils_to_metres
+from ..units import SPEED_OF_LIGHT, mils_to_metres, pico
 
 
 @dataclasses.dataclass(frozen=True)
@@ -74,7 +74,7 @@ class PatchAntenna:
         thickness = thickness_m if thickness_m is not None else material.max_thickness_m
         if thickness <= 0.0:
             raise ConfigurationError(f"{name}: thickness must be positive")
-        if thickness > material.max_thickness_m + 1e-12:
+        if thickness > material.max_thickness_m + pico(1.0):
             raise ConfigurationError(
                 f"{name}: {material.name} is not available thicker than "
                 f"{material.max_thickness_m * 1e3:.2f} mm "

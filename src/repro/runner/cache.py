@@ -110,7 +110,8 @@ class MemoCache:
     def stats(self) -> CacheStats:
         """Current hit/miss counts."""
         with self._lock:
-            return CacheStats(hits=self._hits, misses=self._misses, size=len(self._data))
+            return CacheStats(hits=self._hits, misses=self._misses,
+                              size=len(self._data))
 
 
 def memoize(fn: Callable = None, *, maxsize: Optional[int] = None) -> Callable:

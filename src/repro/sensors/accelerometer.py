@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from ..errors import ConfigurationError
+from ..units import milli
 from .base import SampleTiming, Sensor
 from .environment import MotionEnvironment
 
@@ -30,7 +31,7 @@ class Sca3000(Sensor):
         name: str = "sca3000",
         i_motion_detect: float = 10e-6,
         i_measure: float = 120e-6,
-        settle_s: float = 1.0e-3,
+        settle_s: float = milli(1.0),
         conversion_s_per_channel: float = 0.3e-3,
         threshold_g: float = 0.3,
     ) -> None:

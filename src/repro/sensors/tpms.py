@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Dict
 
 from ..errors import ConfigurationError
+from ..units import milli
 from .base import SampleTiming, Sensor
 from .environment import TireEnvironment
 
@@ -32,7 +33,7 @@ class Sp12Tpms(Sensor):
         name: str = "sp12-tpms",
         i_sleep: float = 0.3e-6,    # digital die timer only
         i_measure: float = 0.45e-3,  # analog die + ADC active
-        settle_s: float = 4.0e-3,
+        settle_s: float = milli(4.0),
         conversion_s_per_channel: float = 1.3e-3,
         wake_period_s: float = WAKE_PERIOD_S,
     ) -> None:

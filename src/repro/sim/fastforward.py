@@ -36,7 +36,7 @@ interludes.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from .trace import StepTrace
 
@@ -183,7 +183,8 @@ def extract_template(
     return tuple(rel_times), tuple(values)
 
 
-def windows_match(trace: StepTrace, start_a: float, start_b: float, span: float) -> bool:
+def windows_match(trace: StepTrace, start_a: float, start_b: float,
+                  span: float) -> bool:
     """True when two windows of ``trace`` are bit-identical up to translation.
 
     Compares the windows ``(start_a, start_a + span]`` and

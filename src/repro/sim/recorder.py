@@ -83,7 +83,8 @@ class PowerRecorder:
         if end is None:
             end = self._engine.now
         if end <= start:
-            raise SimulationError(f"average_power needs a positive span [{start}, {end}]")
+            raise SimulationError(
+                f"average_power needs a positive span [{start}, {end}]")
         return self.total_energy(start, end) / (end - start)
 
     def energy_breakdown(

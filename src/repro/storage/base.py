@@ -62,7 +62,8 @@ class EnergyStorage(abc.ABC):
 
     def terminal_voltage(self, discharge_current: float = 0.0) -> float:
         """Voltage at the terminals under load (discharge positive), volts."""
-        return self.open_circuit_voltage() - discharge_current * self.internal_resistance()
+        return (self.open_circuit_voltage()
+                - discharge_current * self.internal_resistance())
 
     def max_burst_current(self, v_min: float) -> float:
         """Largest discharge current keeping the terminal above ``v_min``."""

@@ -1,0 +1,71 @@
+"""The ``python -m repro lint`` surface: flags, exit codes, reports."""
+
+import json
+
+from repro.cli import main
+
+
+def write_violation(tmp_path):
+    target = tmp_path / "repro" / "mod.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text("import random\njitter = random.random()\n")
+    return target
+
+
+def run_lint(capsys, *argv):
+    code = main(["lint", *argv])
+    return code, capsys.readouterr().out
+
+
+def test_lint_clean_tree_exits_zero(capsys, tmp_path):
+    target = tmp_path / "repro" / "mod.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("from .units import micro\nsleep_w = micro(6.0)\n")
+    code, out = run_lint(capsys, str(tmp_path),
+                         "--baseline", str(tmp_path / "b.json"))
+    assert code == 0
+    assert "clean" in out
+
+
+def test_lint_violation_exits_one_with_location(capsys, tmp_path):
+    write_violation(tmp_path)
+    code, out = run_lint(capsys, str(tmp_path),
+                         "--baseline", str(tmp_path / "b.json"))
+    assert code == 1
+    assert "DET001" in out
+    assert "mod.py:2" in out
+
+
+def test_lint_json_report(capsys, tmp_path):
+    write_violation(tmp_path)
+    code, out = run_lint(capsys, str(tmp_path), "--json",
+                         "--baseline", str(tmp_path / "b.json"))
+    assert code == 1
+    payload = json.loads(out)
+    assert payload["summary"]["new"] == 1
+    assert payload["findings"][0]["rule"] == "DET001"
+
+
+def test_lint_update_baseline_then_clean(capsys, tmp_path):
+    write_violation(tmp_path)
+    baseline = tmp_path / "b.json"
+    code, out = run_lint(capsys, str(tmp_path), "--baseline", str(baseline),
+                         "--update-baseline")
+    assert code == 0
+    assert baseline.is_file()
+    code, out = run_lint(capsys, str(tmp_path), "--baseline", str(baseline))
+    assert code == 0
+    assert "1 baselined" in out
+
+
+def test_lint_list_rules_catalogue(capsys):
+    code, out = run_lint(capsys, "--list-rules")
+    assert code == 0
+    for rule_id in ("UNIT001", "UNIT002", "UNIT003", "DET001", "DET002",
+                    "DET003", "API001", "API002", "API003"):
+        assert rule_id in out
+
+
+def test_lint_missing_path_exits_two(capsys, tmp_path):
+    code = main(["lint", str(tmp_path / "nope")])
+    assert code == 2

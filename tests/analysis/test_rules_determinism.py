@@ -1,0 +1,205 @@
+"""Determinism rules: seeded violations and their clean twins."""
+
+from repro.analysis import (
+    UnorderedIterationRule,
+    UnseededRandomRule,
+    WallClockRule,
+)
+
+from .conftest import rule_ids
+
+
+# ---------------------------------------------------------------------------
+# DET001: unseeded random draws
+# ---------------------------------------------------------------------------
+
+
+def test_module_level_random_draw_is_caught(lint_snippet):
+    findings = lint_snippet(
+        """
+        import random
+
+        jitter = random.random()
+        """,
+        rules=[UnseededRandomRule()],
+    )
+    assert rule_ids(findings) == ["DET001"]
+    assert "unseeded" in findings[0].message
+
+
+def test_random_choice_and_alias_are_caught(lint_snippet):
+    findings = lint_snippet(
+        """
+        import random as rnd
+
+        pick = rnd.choice([1, 2, 3])
+        """,
+        rules=[UnseededRandomRule()],
+    )
+    assert rule_ids(findings) == ["DET001"]
+
+
+def test_from_import_draw_is_caught(lint_snippet):
+    findings = lint_snippet(
+        """
+        from random import gauss
+
+        noise = gauss(0.0, 1.0)
+        """,
+        rules=[UnseededRandomRule()],
+    )
+    assert rule_ids(findings) == ["DET001"]
+
+
+def test_seeded_random_instance_is_clean(lint_snippet):
+    findings = lint_snippet(
+        """
+        import random
+
+        rng = random.Random(2008)
+        jitter = rng.random()
+        pick = rng.choice([1, 2, 3])
+        """,
+        rules=[UnseededRandomRule()],
+    )
+    assert findings == []
+
+
+def test_the_six_audited_modules_draw_only_from_seeded_rngs():
+    """The PR-1/PR-2 random sites must stay seeded forever."""
+    import pathlib
+
+    from repro.analysis import analyze_paths
+
+    root = pathlib.Path(__file__).resolve().parents[2]
+    audited = [
+        "src/repro/board/tolerances.py",
+        "src/repro/net/fleet.py",
+        "src/repro/faults/schedule.py",
+        "src/repro/faults/injector.py",
+        "src/repro/campaigns.py",
+        "src/repro/radio/tolerance.py",
+    ]
+    paths = [root / rel for rel in audited]
+    assert all(p.is_file() for p in paths)
+    findings = analyze_paths(paths, [UnseededRandomRule()], root=root)
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# DET002: wall-clock reads in simulation code
+# ---------------------------------------------------------------------------
+
+
+def test_time_time_in_sim_is_caught(lint_snippet):
+    findings = lint_snippet(
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+        relpath="repro/sim/stamp.py",
+        rules=[WallClockRule()],
+    )
+    assert rule_ids(findings) == ["DET002"]
+
+
+def test_datetime_now_in_core_is_caught(lint_snippet):
+    findings = lint_snippet(
+        """
+        import datetime
+
+        def stamp():
+            return datetime.datetime.now()
+        """,
+        relpath="repro/core/stamp.py",
+        rules=[WallClockRule()],
+    )
+    assert rule_ids(findings) == ["DET002"]
+
+
+def test_os_urandom_in_sim_is_caught(lint_snippet):
+    findings = lint_snippet(
+        """
+        import os
+
+        def entropy():
+            return os.urandom(8)
+        """,
+        relpath="repro/sim/entropy.py",
+        rules=[WallClockRule()],
+    )
+    assert rule_ids(findings) == ["DET002"]
+
+
+def test_perf_counter_in_runner_is_out_of_scope(lint_snippet):
+    # repro.runner keeps wall-clock *metrics* on purpose.
+    findings = lint_snippet(
+        """
+        import time
+
+        def wall():
+            return time.perf_counter()
+        """,
+        relpath="repro/runner/metrics.py",
+        rules=[WallClockRule()],
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# DET003: unordered set iteration in hot paths
+# ---------------------------------------------------------------------------
+
+
+def test_set_iteration_in_engine_is_caught(lint_snippet):
+    findings = lint_snippet(
+        """
+        def drain(pending):
+            for event in set(pending):
+                event.fire()
+        """,
+        relpath="repro/sim/engine.py",
+        rules=[UnorderedIterationRule()],
+    )
+    assert rule_ids(findings) == ["DET003"]
+
+
+def test_sorted_set_iteration_is_clean(lint_snippet):
+    findings = lint_snippet(
+        """
+        def drain(pending):
+            for event in sorted(set(pending)):
+                event.fire()
+        """,
+        relpath="repro/sim/engine.py",
+        rules=[UnorderedIterationRule()],
+    )
+    assert findings == []
+
+
+def test_local_assigned_from_set_is_tracked(lint_snippet):
+    findings = lint_snippet(
+        """
+        def collapse(times_a, times_b):
+            frontier = set(times_a).intersection(times_b)
+            return [t for t in frontier]
+        """,
+        relpath="repro/sim/trace.py",
+        rules=[UnorderedIterationRule()],
+    )
+    assert rule_ids(findings) == ["DET003"]
+
+
+def test_set_iteration_outside_hot_paths_is_out_of_scope(lint_snippet):
+    findings = lint_snippet(
+        """
+        def nodes(ids):
+            for node in set(ids):
+                yield node
+        """,
+        relpath="repro/net/fleet.py",
+        rules=[UnorderedIterationRule()],
+    )
+    assert findings == []

@@ -165,7 +165,7 @@ def test_max_component_height_per_face():
     assert pcb.max_component_height("bottom") == 0.0
 
 
-# -- stack ------------------------------------------------------------------------------
+# -- stack ------------------------------------------------------------------
 
 
 def test_standard_picocube_is_one_cc():

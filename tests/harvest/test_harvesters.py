@@ -274,7 +274,7 @@ def test_vibration_boost_approaches_matched_power():
     assert fraction > 0.75
 
 
-# -- solar ------------------------------------------------------------------------------
+# -- solar ------------------------------------------------------------------
 
 
 def test_solar_office_light_near_node_budget():

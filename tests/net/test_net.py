@@ -48,7 +48,8 @@ def test_packet_round_trip_bytes():
 
 
 def test_packet_round_trip_bits():
-    packet = PicoPacket(node_id=3, kind=KIND_ACCEL, seq=0, payload_words=[100, 200, 300])
+    packet = PicoPacket(node_id=3, kind=KIND_ACCEL, seq=0,
+                        payload_words=[100, 200, 300])
     assert PicoPacket.from_bits(packet.to_bits()) == packet
 
 

@@ -83,7 +83,8 @@ def test_pump_loss_itemisation_balances():
 
 
 def make_ldo(**kwargs):
-    defaults = dict(v_out=0.65, dropout=0.1, i_ground=1e-6, i_shutdown=2e-9, i_max=10e-3)
+    defaults = dict(v_out=0.65, dropout=0.1, i_ground=1e-6, i_shutdown=2e-9,
+                    i_max=10e-3)
     defaults.update(kwargs)
     return LinearRegulator("ldo", **defaults)
 

@@ -307,4 +307,5 @@ def test_wakeup_false_wakeups_cost_power():
 def test_compare_reachability_validation():
     rx = SuperregenerativeReceiver()
     with pytest.raises(ConfigurationError):
-        compare_reachability(rx, WakeupRadio(), duty_cycle_period=1.0, listen_window=2.0)
+        compare_reachability(rx, WakeupRadio(), duty_cycle_period=1.0,
+                             listen_window=2.0)

@@ -140,7 +140,7 @@ def test_sensor_supply_window():
         Sp12Tpms().sample_energy(1.8)
 
 
-# -- MotionEnvironment ------------------------------------------------------------------
+# -- MotionEnvironment ------------------------------------------------------
 
 
 def demo_script():
@@ -184,7 +184,7 @@ def test_motion_threshold_crossings_once_per_handling():
     assert all(env.is_moving(t) for t in crossings)
 
 
-# -- Sca3000 ------------------------------------------------------------------------------
+# -- Sca3000 ----------------------------------------------------------------
 
 
 def test_sca3000_fits_placement_area():
