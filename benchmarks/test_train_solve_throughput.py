@@ -1,0 +1,49 @@
+"""Power-train solve throughput.
+
+The quasi-static ``PowerTrain.solve`` runs at *every* load-changing
+event — twice, because ``PicoCube._update`` re-solves at the sagged
+terminal voltage — so its per-call cost multiplies into every campaign.
+This benchmark times a mixed workload over the paper's operating
+envelope (sleep, active, TX; radio gated on and off; both paper trains)
+and feeds the ``tools/bench_baseline.py --check`` 2x regression gate.
+The committed baseline was recorded against the legacy hand-written
+solvers, so the gate enforces the RailGraph refactor's "within 2x of
+legacy" budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LoadState, make_power_train
+
+SLEEP = LoadState(i_mcu=0.7e-6, i_sensor=0.3e-6)
+ACTIVE = LoadState(i_mcu=250e-6, i_sensor=450e-6)
+TX = LoadState(i_mcu=250e-6, i_sensor=0.3e-6,
+               i_radio_digital=50e-6, i_radio_rf=4.0e-3)
+
+#: One wake cycle's worth of solves: mostly sleep, a few active phases,
+#: one gated TX burst.  Voltages straddle the NiMH discharge plateau.
+V_SWEEP = (1.32, 1.28, 1.25, 1.22, 1.18)
+
+
+def _solve_mixed_workload(kinds):
+    trains = [make_power_train(kind) for kind in kinds]
+    total = 0.0
+    for train in trains:
+        for v_battery in V_SWEEP:
+            for _ in range(40):
+                total += train.solve(v_battery, SLEEP).p_battery
+            for _ in range(8):
+                total += train.solve(v_battery, ACTIVE).p_battery
+            train.enable_radio()
+            for _ in range(2):
+                total += train.solve(v_battery, TX).p_battery
+            train.disable_radio()
+    return total
+
+
+@pytest.mark.benchmark(group="power-train")
+def test_perf_train_solve_throughput(benchmark):
+    total = benchmark(_solve_mixed_workload, ("cots", "ic"))
+    assert total > 0.0

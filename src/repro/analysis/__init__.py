@@ -12,9 +12,10 @@ AST level, before a simulation ever runs:
 - **Determinism rules** (``DET001``–``DET003``): unseeded ``random.*``
   draws, wall-clock reads inside ``repro.sim``/``repro.core``, and
   unsorted set iteration in the replay hot paths.
-- **Contract rules** (``API001``–``API003``): unfrozen fault-event
+- **Contract rules** (``API001``–``API004``): unfrozen fault-event
   dataclasses, missing ``__slots__`` on registered hot-path classes,
-  and mutable default arguments.
+  mutable default arguments, and rail-graph topology specs that are
+  not frozen dataclasses.
 
 Run it as ``python -m repro lint [--json] [--baseline PATH]
 [--update-baseline] [paths…]``; see ``docs/LINTING.md`` for the rule
@@ -37,6 +38,7 @@ from .rules_contracts import (
     MissingSlotsRule,
     MutableDefaultRule,
     UnfrozenFaultEventRule,
+    UnfrozenRailSpecRule,
 )
 from .rules_determinism import (
     UnorderedIterationRule,
@@ -62,6 +64,7 @@ def default_rules():
         UnfrozenFaultEventRule(),
         MissingSlotsRule(),
         MutableDefaultRule(),
+        UnfrozenRailSpecRule(),
     ]
 
 
@@ -77,6 +80,7 @@ __all__ = [
     "SLOTS_REGISTRY",
     "SUFFIX_DIMENSIONS",
     "UnfrozenFaultEventRule",
+    "UnfrozenRailSpecRule",
     "UnitBareSiLiteralRule",
     "UnitBindingMismatchRule",
     "UnitMixedArithmeticRule",

@@ -13,6 +13,14 @@
 
 ``API003 mutable-default-argument``
     The classic shared-state bug, banned everywhere.
+
+``API004 unfrozen-rail-spec``
+    Rail-graph topology specs are shared data: the registry hands the
+    same :class:`~repro.power.graph.RailGraphSpec` values to every
+    caller, campaigns ship them across process boundaries, and
+    serialization round-trips assume value semantics.  Every
+    ``*Spec`` dataclass in the rail-graph modules must stay
+    ``frozen=True`` (and must stay a dataclass at all).
 """
 
 from __future__ import annotations
@@ -135,6 +143,39 @@ class MissingSlotsRule(Rule):
                 if isinstance(target, ast.Name) and target.id == "__slots__":
                     return True
         return False
+
+
+class UnfrozenRailSpecRule(Rule):
+    """Rail-graph ``*Spec`` dataclasses must stay ``frozen=True``."""
+
+    rule_id = "API004"
+    rule_name = "unfrozen-rail-spec"
+    severity = SEVERITY_ERROR
+    description = ("rail-graph *Spec class that is not a "
+                   "@dataclass(frozen=True)")
+    module_prefixes = ("repro.power.graph", "repro.power.rail_topologies")
+
+    def check(self, ctx: ModuleContext,
+              index: ProjectIndex) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith("Spec"):
+                continue
+            decorator = _dataclass_decorator(node)
+            if decorator is None:
+                yield self.finding(
+                    ctx, node,
+                    f"rail spec `{node.name}` must be a dataclass "
+                    f"(registry serialization relies on fields())",
+                )
+            elif not _is_frozen(decorator):
+                yield self.finding(
+                    ctx, node,
+                    f"rail spec `{node.name}` must be declared "
+                    f"@dataclass(frozen=True); specs are shared by the "
+                    f"registry and cross process boundaries",
+                )
 
 
 class MutableDefaultRule(Rule):

@@ -117,7 +117,7 @@ class Pcb:
         thickness_m: float = milli(0.8),
         metal_layers: int = 2,
         board_side_m: float = BOARD_SIDE_M,
-        pad_ring: PadRing = None,
+        pad_ring: Optional[PadRing] = None,
     ) -> None:
         if thickness_m <= 0.0:
             raise ConfigurationError(f"{name}: thickness must be positive")

@@ -28,6 +28,7 @@ from __future__ import annotations
 import dataclasses
 import math
 import random
+from typing import Optional
 
 from ..errors import ConfigurationError
 from ..units import milli
@@ -48,8 +49,8 @@ class PadAlignmentModel:
 
     def __init__(
         self,
-        ring: PadRing = None,
-        connector: ElastomericConnector = None,
+        ring: Optional[PadRing] = None,
+        connector: Optional[ElastomericConnector] = None,
         pad_gap_m: float = milli(0.6),
     ) -> None:
         if pad_gap_m <= 0.0:

@@ -29,6 +29,7 @@ from .board import (
 )
 from .board.pcb import PadRing
 from .core import (
+    LoadState,
     NodeConfig,
     PicoCube,
     audit_node,
@@ -46,7 +47,12 @@ from .harvest import (
 )
 from .net import FleetChannel, FleetStats, aloha_prediction
 from .net.fleet import BEACON_PERIOD_S
-from .power import BoostRectifier, SynchronousRectifier, compare_step_up_topologies
+from .power import (
+    BoostRectifier,
+    SynchronousRectifier,
+    compare_step_up_topologies,
+    rail_topology_names,
+)
 from .power.topologies import all_step_up_families
 from .runner import CampaignStats, MemoCache, MonteCarlo, Sweep
 from .sensors import TireEnvironment
@@ -378,6 +384,67 @@ def energy_neutral_campaign(
     sweep = Sweep(harvest_source_task, name="energy-neutral", workers=workers)
     result = sweep.run(energy_neutral_catalogue(v_batt))
     return result.values(), result.stats
+
+
+# ---------------------------------------------------------------------------
+# Rail-topology sweep — every registered power train through a real node
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class TopologyOutcome:
+    """One rail topology's node-level scorecard (picklable)."""
+
+    kind: str
+    cycles: int
+    average_power_w: float
+    sleep_power_w: float
+    management_share: float
+
+
+def rail_topology_task(params: Tuple[str, float]) -> TopologyOutcome:
+    """Run one registered power train through a TPMS node.
+
+    ``params = (kind, duration_s)``.  Deterministic: the node simulation
+    is seed-free and the train registry builds bit-identical graphs for
+    a given kind, so the outcome is a pure function of the cell.
+    """
+    kind, duration_s = params
+    node = build_tpms_node(power_train=kind)
+    sleep_solution = node.train.solve(
+        node.battery.open_circuit_voltage(),
+        LoadState(i_mcu=0.7e-6, i_sensor=0.3e-6),
+    )
+    node.run(duration_s)
+    average_power_w = node.average_power()
+    management_j = node.recorder.energy("power-management")
+    total_j = average_power_w * duration_s
+    return TopologyOutcome(
+        kind=kind,
+        cycles=node.cycles_completed,
+        average_power_w=average_power_w,
+        sleep_power_w=sleep_solution.p_battery,
+        management_share=(management_j / total_j) if total_j > 0.0 else 0.0,
+    )
+
+
+def topology_sweep_campaign(
+    kinds: Optional[Sequence[str]] = None,
+    duration_s: float = 3600.0,
+    workers: Optional[int] = None,
+) -> Tuple[List[TopologyOutcome], CampaignStats]:
+    """Every registered rail topology (or a subset) through a node run.
+
+    Bit-identical for any ``workers`` value: each cell is a pure
+    function of ``(kind, duration_s)`` and results return in grid order.
+    """
+    if kinds is None:
+        kinds = rail_topology_names()
+    sweep = Sweep(
+        rail_topology_task, name="rail-topology-sweep", workers=workers
+    )
+    result = sweep.run([(kind, float(duration_s)) for kind in kinds])
+    return list(result.values()), result.stats
 
 
 # ---------------------------------------------------------------------------

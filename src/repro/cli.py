@@ -20,6 +20,9 @@ Commands
     Validate the 1 cm^3 packaging and print the dimension ledger.
 ``report``
     Run a node and emit a markdown run report.
+``train``
+    Inspect the rail-graph topology registry: list the registered
+    power trains, render one as a tree, or solve an operating point.
 ``chaos``
     Monte-Carlo seeded fault storms against a recovering node.
 ``perf``
@@ -148,6 +151,43 @@ def _cmd_report(args: argparse.Namespace) -> int:
     node = build_tpms_node(power_train=args.train)
     node.run(args.hours * 3600.0)
     print(run_report(node, title=args.title))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from .core import LoadState, make_power_train
+    from .errors import ElectricalError
+    from .power.rail_topologies import get_rail_spec, rail_topology_names
+
+    if args.list_kinds:
+        for kind in rail_topology_names():
+            print(f"{kind:<12} {get_rail_spec(kind).description}")
+        return 0
+    if args.describe is not None:
+        train = make_power_train(args.describe)
+        print(train.describe())
+        return 0
+    train = make_power_train(args.solve)
+    loads = LoadState(
+        i_mcu=args.i_mcu,
+        i_sensor=args.i_sensor,
+        i_radio_digital=args.i_radio_digital,
+        i_radio_rf=args.i_radio_rf,
+    )
+    if loads.i_radio_digital > 0.0 or loads.i_radio_rf > 0.0:
+        train.enable_radio()
+    try:
+        solution = train.solve(args.v_battery, loads)
+    except ElectricalError as exc:
+        print(f"no operating point: {exc}", file=sys.stderr)
+        return 1
+    print(f"{train.name} @ {solution.v_battery:.3f} V battery")
+    print(f"  {'i_battery':<14}{solution.i_battery * 1e6:10.3f} uA")
+    print(f"  {'p_battery':<14}{solution.p_battery * 1e6:10.3f} uW")
+    print(f"  {'v_mcu_rail':<14}{solution.v_mcu_rail:10.3f} V")
+    for name, watts in solution.subsystem_power.items():
+        print(f"  {name:<14}{watts * 1e6:10.3f} uW")
+    print(f"  {'management':<14}{solution.p_management * 1e6:10.3f} uW")
     return 0
 
 
@@ -295,6 +335,9 @@ def _cmd_stack(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
+    from .power.rail_topologies import rail_topology_names
+
+    train_kinds = tuple(rail_topology_names())
     parser = argparse.ArgumentParser(
         prog="repro",
         description="PicoCube (DAC 2008) reproduction bench",
@@ -303,7 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     audit = sub.add_parser("audit", help="energy audit of a node run")
     audit.add_argument("--hours", type=float, default=1.0)
-    audit.add_argument("--train", choices=("cots", "ic"), default="cots")
+    audit.add_argument("--train", choices=train_kinds, default="cots")
     audit.add_argument("--speed", type=float, default=60.0,
                        help="vehicle speed, km/h")
     audit.add_argument("--steady", action="store_true",
@@ -315,12 +358,12 @@ def build_parser() -> argparse.ArgumentParser:
     audit.set_defaults(handler=_cmd_audit)
 
     profile = sub.add_parser("profile", help="one on-cycle power profile")
-    profile.add_argument("--train", choices=("cots", "ic"), default="cots")
+    profile.add_argument("--train", choices=train_kinds, default="cots")
     profile.set_defaults(handler=_cmd_profile)
 
     deploy = sub.add_parser("deploy", help="tire deployment with harvesting")
     deploy.add_argument("--days", type=int, default=3)
-    deploy.add_argument("--train", choices=("cots", "ic"), default="cots")
+    deploy.add_argument("--train", choices=train_kinds, default="cots")
     deploy.set_defaults(handler=_cmd_deploy)
 
     link = sub.add_parser("link", help="link budget vs distance")
@@ -335,9 +378,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="markdown run report")
     report.add_argument("--hours", type=float, default=1.0)
-    report.add_argument("--train", choices=("cots", "ic"), default="cots")
+    report.add_argument("--train", choices=train_kinds, default="cots")
     report.add_argument("--title", default=None)
     report.set_defaults(handler=_cmd_report)
+
+    train = sub.add_parser(
+        "train", help="rail-graph topology registry (list/describe/solve)"
+    )
+    what = train.add_mutually_exclusive_group(required=True)
+    what.add_argument("--list", action="store_true", dest="list_kinds",
+                      help="list registered topologies")
+    what.add_argument("--describe", metavar="KIND", default=None,
+                      help="render one topology as a component tree")
+    what.add_argument("--solve", metavar="KIND", default=None,
+                      help="solve one operating point and print the result")
+    train.add_argument("--v-battery", type=float, default=1.25,
+                       help="battery voltage for --solve (default: 1.25 V)")
+    train.add_argument("--i-mcu", type=float, default=0.7e-6,
+                       help="MCU load, amperes (default: 0.7 uA sleep)")
+    train.add_argument("--i-sensor", type=float, default=0.3e-6,
+                       help="sensor load, amperes (default: 0.3 uA sleep)")
+    train.add_argument("--i-radio-digital", type=float, default=0.0,
+                       help="radio digital load, amperes (gates the radio "
+                            "rails on when nonzero)")
+    train.add_argument("--i-radio-rf", type=float, default=0.0,
+                       help="radio RF load, amperes (gates the radio "
+                            "rails on when nonzero)")
+    train.set_defaults(handler=_cmd_train)
 
     chaos = sub.add_parser("chaos", help="seeded fault-storm Monte Carlo")
     chaos.add_argument("--trials", type=int, default=8)

@@ -21,6 +21,7 @@ from .fastforward import CycleFastForward, LeapRecord
 from .node import BrownoutEvent, PicoCube
 from .power_train import (
     CotsPowerTrain,
+    GraphPowerTrain,
     IcPowerTrain,
     LoadState,
     PowerTrain,
@@ -42,6 +43,7 @@ __all__ = [
     "CycleFastForward",
     "CycleProfile",
     "EnergyAudit",
+    "GraphPowerTrain",
     "LeapRecord",
     "IcPowerTrain",
     "LoadState",

@@ -5,8 +5,8 @@ from __future__ import annotations
 import dataclasses
 
 from ..errors import ConfigurationError
+from ..power.rail_topologies import rail_topology_names
 
-POWER_TRAINS = ("cots", "ic")
 SENSOR_KINDS = ("tpms", "accel")
 FIDELITIES = ("fast", "profile")
 LINE_CODES = ("nrz", "manchester")
@@ -62,9 +62,10 @@ class NodeConfig:
     def __post_init__(self) -> None:
         if not 0 <= self.node_id <= 255:
             raise ConfigurationError(f"node_id {self.node_id} outside one byte")
-        if self.power_train not in POWER_TRAINS:
+        if self.power_train not in rail_topology_names():
             raise ConfigurationError(
-                f"power_train must be one of {POWER_TRAINS}, got "
+                f"power_train must be one of "
+                f"{tuple(rail_topology_names())}, got "
                 f"{self.power_train!r}"
             )
         if self.sensor_kind not in SENSOR_KINDS:

@@ -10,7 +10,7 @@ with a harvester attached.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict
+from typing import Dict, Optional
 
 from ..errors import SimulationError
 from ..units import DAY, YEAR
@@ -65,7 +65,8 @@ class EnergyAudit:
         return "\n".join(lines)
 
 
-def audit_node(node: PicoCube, start: float = None, end: float = None) -> EnergyAudit:
+def audit_node(node: PicoCube, start: Optional[float] = None,
+               end: Optional[float] = None) -> EnergyAudit:
     """Build an :class:`EnergyAudit` from a node's recorder."""
     if end is None:
         end = node.engine.now

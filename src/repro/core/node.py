@@ -64,10 +64,10 @@ class PicoCube:
 
     def __init__(
         self,
-        config: NodeConfig = None,
-        engine: Engine = None,
+        config: Optional[NodeConfig] = None,
+        engine: Optional[Engine] = None,
         environment=None,
-        battery: NiMHCell = None,
+        battery: Optional[NiMHCell] = None,
     ) -> None:
         self.config = config or NodeConfig()
         self.engine = engine or Engine()
@@ -557,7 +557,8 @@ class PicoCube:
 
     # ------------------------------------------------------------------ results
 
-    def average_power(self, start: float = None, end: float = None) -> float:
+    def average_power(self, start: Optional[float] = None,
+                      end: Optional[float] = None) -> float:
         """Mean battery-side power over a window (default: whole run), W."""
         return self.recorder.average_power(start, end)
 

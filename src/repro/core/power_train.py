@@ -1,45 +1,56 @@
-"""Power trains: the two ways the PicoCube turns 1.2 V into three rails.
+"""Power trains: declarative rail graphs behind the node's solve API.
 
 The node needs (paper §4.3): 2.1-3.6 V always-on for the microcontroller
 and sensor, 1.0 V gated for the radio digital logic, and a quiet 0.65 V
-gated for the radio RF section.
+gated for the radio RF section.  Which converters provide those rails —
+and where the quiescent losses sit — is a *topology*, and topologies are
+data here: frozen :class:`~repro.power.graph.RailGraphSpec` values in the
+:mod:`repro.power.rail_topologies` registry, solved by the generic
+:class:`~repro.power.graph.RailGraph` walker.
 
-Two implementations:
+:class:`GraphPowerTrain` adapts any registered spec to the node-facing
+:class:`PowerTrain` interface; :class:`CotsPowerTrain` (paper §4) and
+:class:`IcPowerTrain` (paper §7.1) are thin subclasses that keep their
+historical constructor parameters and hardware-sequencing attributes.
+Their solves are **bit-identical** to the retired hand-written bodies
+(``tests/core/test_graph_equivalence.py`` pins every field to goldens
+captured from the legacy code).
 
-* :class:`CotsPowerTrain` — the built cube of §4: TPS60313-class charge
-  pump (always on, snooze mode), a GPIO-fed shunt regulator for the 1.0 V
-  rail, and an LT3020-class LDO from the battery for the 0.65 V rail,
-  gated at input and output by solid-state switches.
-* :class:`IcPowerTrain` — the §7.1 converter IC: 1:2 and 3:2
-  switched-capacitor converters plus a post-regulating LDO.  The 1.0 V
-  logic rail keeps the (nearly free) shunt off the microcontroller rail.
-
-Both expose one quasi-static ``solve``: given the battery voltage and the
-load currents of every subsystem, return the battery draw.  Attribution
-convention: subsystem channels record ``v_rail * i_load``; everything else
-the battery delivers is power management — the quantity the paper says
-dominates the 6 uW budget.
+Attribution convention: subsystem channels record ``v_rail * i_load``;
+everything else the battery delivers is power management — the quantity
+the paper says dominates the 6 uW budget.
 """
 
 from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import Dict
+import math
+from typing import Dict, Optional
 
 from ..errors import ConfigurationError, ElectricalError
-from ..power import (
-    ConverterIC,
-    ConverterICConfig,
-    LinearRegulator,
-    PowerSwitch,
-    RegulatedChargePump,
-    ShuntRegulator,
+from ..power import ConverterIC, ConverterICConfig, PowerSwitch
+from ..power.graph import GraphSolution, RailGraph, RailGraphSpec
+from ..power.rail_topologies import (
+    RADIO_GATE,
+    V_RADIO_DIGITAL,
+    V_RADIO_RF,
+    cots_spec,
+    get_rail_spec,
+    ic_spec,
 )
-from ..power.base import VoltageRange
 
-V_RADIO_DIGITAL = 1.0
-V_RADIO_RF = 0.65
+__all__ = [
+    "V_RADIO_DIGITAL",
+    "V_RADIO_RF",
+    "LoadState",
+    "TrainSolution",
+    "PowerTrain",
+    "GraphPowerTrain",
+    "CotsPowerTrain",
+    "IcPowerTrain",
+    "make_power_train",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -53,7 +64,12 @@ class LoadState:
 
     def __post_init__(self) -> None:
         for field in dataclasses.fields(self):
-            if getattr(self, field.name) < 0.0:
+            value = getattr(self, field.name)
+            if not math.isfinite(value):
+                raise ConfigurationError(
+                    f"{field.name} must be finite, got {value!r}"
+                )
+            if value < 0.0:
                 raise ConfigurationError(f"{field.name} must be >= 0")
 
 
@@ -78,7 +94,7 @@ class TrainSolution:
 
 
 class PowerTrain(abc.ABC):
-    """Common interface of the two power-train implementations."""
+    """Common interface of every power-train implementation."""
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -147,7 +163,107 @@ class PowerTrain(abc.ABC):
         }
 
 
-class CotsPowerTrain(PowerTrain):
+class GraphPowerTrain(PowerTrain):
+    """Any registered rail-graph topology, behind the node's train API.
+
+    ``enable_radio`` opens the spec's ``'radio'`` gate group (other gate
+    groups, if a topology defines them, are driven via
+    :meth:`set_gate`).  Fault injection can address the whole train
+    (:meth:`set_degradation`, inherited) or one component by name
+    (:meth:`set_component_degradation`).
+    """
+
+    def __init__(self, spec: RailGraphSpec) -> None:
+        super().__init__(spec.name)
+        self.spec = spec
+        self.graph = RailGraph(spec)
+        self._open_gates: frozenset = frozenset()
+        self._component_degradations: Dict[str, float] = {}
+
+    def mcu_rail_voltage(self) -> float:
+        return self.graph.tap_voltage("mcu")
+
+    def enable_radio(self) -> None:
+        self.set_gate(RADIO_GATE, True)
+        super().enable_radio()
+
+    def disable_radio(self) -> None:
+        self.set_gate(RADIO_GATE, False)
+        super().disable_radio()
+
+    def set_gate(self, gate: str, conducting: bool) -> None:
+        """Open or close one of the spec's gate groups by name."""
+        if conducting:
+            self._open_gates = self._open_gates | {gate}
+        else:
+            self._open_gates = self._open_gates - {gate}
+
+    def set_component_degradation(self, name: str, factor: float) -> None:
+        """Degrade one graph component: its solved input current is
+        multiplied by ``factor`` (>= 1; ``1.0`` heals it).  Unlike the
+        train-wide :meth:`set_degradation`, a degraded mid-graph stage
+        also inflates the load its upstream converter must carry.
+        """
+        if name not in self.graph.component_names():
+            raise ConfigurationError(
+                f"{self.name}: no component {name!r}; components: "
+                f"{', '.join(self.graph.component_names())}"
+            )
+        if factor < 1.0:
+            raise ConfigurationError(
+                f"{self.name}: degradation factor for {name!r} must be "
+                f">= 1, got {factor}"
+            )
+        if factor == 1.0:
+            self._component_degradations.pop(name, None)
+        else:
+            self._component_degradations[name] = factor
+
+    def component_degradations(self) -> Dict[str, float]:
+        """Active per-component degradation factors (a copy)."""
+        return dict(self._component_degradations)
+
+    def describe(self) -> str:
+        """Deterministic text rendering of the topology tree."""
+        return self.graph.describe()
+
+    def solve_graph(self, v_battery: float, loads: LoadState) -> GraphSolution:
+        """The raw graph solution (per-component currents included)."""
+        self._check_radio_load(loads)
+        return self.graph.solve(
+            v_battery,
+            {
+                "mcu": loads.i_mcu,
+                "sensor": loads.i_sensor,
+                "radio-digital": loads.i_radio_digital,
+                "radio-rf": loads.i_radio_rf,
+            },
+            open_gates=self._open_gates,
+            degradation=self._component_degradations,
+        )
+
+    def solve(self, v_battery: float, loads: LoadState) -> TrainSolution:
+        result = self.solve_graph(v_battery, loads)
+        return self._finish(TrainSolution(
+            v_battery=v_battery,
+            i_battery=result.i_source,
+            v_mcu_rail=self.mcu_rail_voltage(),
+            subsystem_power=self._subsystem_power(loads),
+        ))
+
+    def _subsystem_power(self, loads: LoadState) -> Dict[str, float]:
+        # Attribution uses each channel's own tap voltage, so topologies
+        # with non-paper rail voltages stay correctly accounted.
+        tap = self.graph.tap_voltage
+        return {
+            "mcu": tap("mcu") * loads.i_mcu,
+            "sensor": tap("sensor") * loads.i_sensor,
+            "radio-digital": tap("radio-digital") * loads.i_radio_digital,
+            "radio-rf": tap("radio-rf") * loads.i_radio_rf,
+        }
+
+
+class CotsPowerTrain(GraphPowerTrain):
     """The as-built COTS power train of paper §4."""
 
     def __init__(
@@ -158,35 +274,21 @@ class CotsPowerTrain(PowerTrain):
         ldo_i_ground: float = 1.2e-6,
         switch_leak: float = 1e-9,
     ) -> None:
-        super().__init__("cots-power-train")
-        self.charge_pump = RegulatedChargePump(
-            "tps60313",
-            v_out=v_mcu_rail,
-            gains=(1.5, 2.0),
-            i_quiescent=28e-6,
-            i_snooze=pump_i_snooze,
-            snooze_load_threshold=2e-3,
-            input_range=VoltageRange(0.9, 1.8, owner="tps60313"),
+        super().__init__(cots_spec(
+            v_mcu_rail=v_mcu_rail,
+            pump_i_snooze=pump_i_snooze,
+            shunt_r_series=shunt_r_series,
+            ldo_i_ground=ldo_i_ground,
+            switch_leak=switch_leak,
+        ))
+        # The physical gating hardware, kept for sequencing inspection;
+        # electrically the graph's 'radio' gate carries the behaviour.
+        self.input_switch = PowerSwitch(
+            "ldo-input-switch", i_leak_off=switch_leak
         )
-        self.shunt = ShuntRegulator(
-            "radio-digital-shunt",
-            v_out=V_RADIO_DIGITAL,
-            r_series=shunt_r_series,
-            i_bias_min=10e-6,
+        self.output_switch = PowerSwitch(
+            "pa-output-switch", i_leak_off=switch_leak
         )
-        self.ldo = LinearRegulator(
-            "lt3020",
-            v_out=V_RADIO_RF,
-            dropout=0.15,
-            i_ground=ldo_i_ground,
-            i_shutdown=0.0,  # the input switch removes it entirely
-            i_max=10e-3,
-        )
-        self.input_switch = PowerSwitch("ldo-input-switch", i_leak_off=switch_leak)
-        self.output_switch = PowerSwitch("pa-output-switch", i_leak_off=switch_leak)
-
-    def mcu_rail_voltage(self) -> float:
-        return self.charge_pump.v_out
 
     def enable_radio(self) -> None:
         # Sequencing per §4.5: PA supply switched at its input first (kill
@@ -200,47 +302,19 @@ class CotsPowerTrain(PowerTrain):
         self.input_switch.open()
         super().disable_radio()
 
-    def solve(self, v_battery: float, loads: LoadState) -> TrainSolution:
-        self._check_radio_load(loads)
-        # The 1.0 V shunt hangs off a GPIO pin of the microcontroller rail;
-        # while enabled it draws its constant series current from that rail.
-        i_shunt_supply = 0.0
-        if self.radio_enabled:
-            shunt_op = self.shunt.solve(self.mcu_rail_voltage(), loads.i_radio_digital)
-            i_shunt_supply = shunt_op.i_in
-        rail_load = loads.i_mcu + loads.i_sensor + i_shunt_supply
-        pump_op = self.charge_pump.solve(v_battery, rail_load)
-        if self.radio_enabled:
-            ldo_op = self.ldo.solve(v_battery, loads.i_radio_rf)
-            i_rf_branch = ldo_op.i_in
-        else:
-            # Open input switch: only its leakage remains on the battery.
-            i_rf_branch = self.input_switch.i_leak_off
-        i_battery = pump_op.i_in + i_rf_branch
-        return self._finish(TrainSolution(
-            v_battery=v_battery,
-            i_battery=i_battery,
-            v_mcu_rail=self.mcu_rail_voltage(),
-            subsystem_power=self._subsystem_power(loads),
-        ))
 
-
-class IcPowerTrain(PowerTrain):
+class IcPowerTrain(GraphPowerTrain):
     """The integrated power train of paper §7.1."""
 
-    def __init__(self, config: ConverterICConfig = None,
-                 shunt_r_series: float = 8.2e3) -> None:
-        super().__init__("ic-power-train")
+    def __init__(
+        self,
+        config: Optional[ConverterICConfig] = None,
+        shunt_r_series: float = 8.2e3,
+    ) -> None:
+        super().__init__(ic_spec(config, shunt_r_series=shunt_r_series))
+        # The composed IC model, kept for the analyses the graph does not
+        # carry (ripple/noise chain, quiescent breakdown by source).
         self.ic = ConverterIC(config)
-        self.shunt = ShuntRegulator(
-            "radio-digital-shunt",
-            v_out=V_RADIO_DIGITAL,
-            r_series=shunt_r_series,
-            i_bias_min=10e-6,
-        )
-
-    def mcu_rail_voltage(self) -> float:
-        return self.ic.config.v_mcu_rail
 
     def enable_radio(self) -> None:
         self.ic.enable_radio_rail()
@@ -250,35 +324,15 @@ class IcPowerTrain(PowerTrain):
         self.ic.disable_radio_rail()
         super().disable_radio()
 
-    def solve(self, v_battery: float, loads: LoadState) -> TrainSolution:
-        self._check_radio_load(loads)
-        i_shunt_supply = 0.0
-        if self.radio_enabled:
-            shunt_op = self.shunt.solve(self.mcu_rail_voltage(), loads.i_radio_digital)
-            i_shunt_supply = shunt_op.i_in
-        rail_load = loads.i_mcu + loads.i_sensor + i_shunt_supply
-        mcu_op = self.ic.mcu_rail(v_battery, rail_load)
-        radio_op = self.ic.radio_rail(v_battery, loads.i_radio_rf)
-        # Standing currents not inside the converter solves: pad ring and
-        # the reference blocks.
-        standing = (
-            self.ic.config.i_pad_ring_leak
-            + self.ic.current_reference.supply_current()
-            + self.ic.bandgap.average_current()
-        )
-        i_battery = mcu_op.i_in + radio_op.i_in + standing
-        return self._finish(TrainSolution(
-            v_battery=v_battery,
-            i_battery=i_battery,
-            v_mcu_rail=self.mcu_rail_voltage(),
-            subsystem_power=self._subsystem_power(loads),
-        ))
-
 
 def make_power_train(kind: str) -> PowerTrain:
-    """Factory: ``'cots'`` (paper §4) or ``'ic'`` (paper §7.1)."""
+    """Build a registered power train: ``'cots'`` (paper §4), ``'ic'``
+    (paper §7.1), or any exploratory topology in
+    :func:`repro.power.rail_topologies.rail_topology_names`.
+    """
     if kind == "cots":
         return CotsPowerTrain()
     if kind == "ic":
         return IcPowerTrain()
-    raise ConfigurationError(f"unknown power train kind {kind!r}")
+    # get_rail_spec raises ConfigurationError naming the valid kinds.
+    return GraphPowerTrain(get_rail_spec(kind))

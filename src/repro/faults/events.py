@@ -14,6 +14,7 @@ degradation, the packet filter, and spurious resets).
 from __future__ import annotations
 
 import dataclasses
+from typing import Optional
 
 from ..errors import ConfigurationError
 
@@ -109,12 +110,17 @@ class EsrDrift(FaultEvent):
 class ConverterDegradation(FaultEvent):
     """Power-train conversion losses scaled by ``loss_factor``.
 
-    Every battery-side solve draws ``loss_factor`` times the healthy
-    current while the rails deliver their nominal power; the overhead
-    lands on the ``power-management`` channel the paper highlights.
+    With ``component=None`` the whole train degrades: every battery-side
+    solve draws ``loss_factor`` times the healthy current while the rails
+    deliver their nominal power; the overhead lands on the
+    ``power-management`` channel the paper highlights.  Naming a rail-graph
+    component (e.g. ``"tps60313"``, ``"ic-sc-3to2"``) ages that one stage
+    instead — its solved input current scales, and anything upstream
+    carries the extra load.
     """
 
     loss_factor: float = 1.25
+    component: Optional[str] = None
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -122,6 +128,11 @@ class ConverterDegradation(FaultEvent):
             raise ConfigurationError(
                 f"ConverterDegradation: loss_factor must be >= 1, "
                 f"got {self.loss_factor}"
+            )
+        if self.component is not None and not self.component:
+            raise ConfigurationError(
+                "ConverterDegradation: component must be None or a "
+                "non-empty name"
             )
 
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from ..core.node import PicoCube
 from ..errors import ConfigurationError
@@ -68,6 +68,8 @@ class FaultInjector:
         self._spikes: List[float] = []
         self._esr: List[float] = []
         self._degradations: List[float] = []
+        # Component-addressed degradations stack per rail-graph component.
+        self._component_degradations: Dict[str, List[float]] = {}
         self._noise: List[float] = []
 
     def arm(self) -> None:
@@ -119,10 +121,19 @@ class FaultInjector:
             self.node.battery.set_esr_multiplier(self._product(self._esr))
             self._resolve()
         elif isinstance(event, ConverterDegradation):
-            self._toggle(self._degradations, event.loss_factor, on)
-            self.node.train.set_degradation(
-                max(self._product(self._degradations), 1.0)
-            )
+            if event.component is None:
+                self._toggle(self._degradations, event.loss_factor, on)
+                self.node.train.set_degradation(
+                    max(self._product(self._degradations), 1.0)
+                )
+            else:
+                stack = self._component_degradations.setdefault(
+                    event.component, []
+                )
+                self._toggle(stack, event.loss_factor, on)
+                self.node.train.set_component_degradation(
+                    event.component, max(self._product(stack), 1.0)
+                )
             self._resolve()
         elif isinstance(event, ChannelNoiseBurst):
             self._toggle(self._noise, event.flip_probability, on)

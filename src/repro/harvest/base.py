@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import abc
 import dataclasses
+from typing import Optional
+
 import numpy as np
 
 from ..errors import ConfigurationError
@@ -62,7 +64,7 @@ class Harvester(abc.ABC):
     def waveform(self, duration: float, dt: float = 1e-5) -> SourceWaveform:
         """Sample the open-circuit output over ``duration`` seconds."""
 
-    def average_power_into(self, v_dc: float, duration: float = None) -> float:
+    def average_power_into(self, v_dc: float, duration: Optional[float] = None) -> float:
         """Average power an ideal rectifier extracts into a DC sink.
 
         ``duration`` defaults to a source-appropriate characteristic span

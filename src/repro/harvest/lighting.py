@@ -15,7 +15,7 @@ longest dark stretch?
 from __future__ import annotations
 
 import dataclasses
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..units import DAY, HOUR
@@ -84,8 +84,8 @@ class BuildingDeployment:
 
     def __init__(
         self,
-        cladding: SolarCladding = None,
-        schedule: LightingSchedule = None,
+        cladding: Optional[SolarCladding] = None,
+        schedule: Optional[LightingSchedule] = None,
         harvest_efficiency: float = 0.8,
         v_battery: float = 1.25,
     ) -> None:

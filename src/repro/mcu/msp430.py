@@ -23,6 +23,7 @@ event-driven electrical solver wants.
 from __future__ import annotations
 
 import enum
+from typing import Optional
 
 from ..errors import ConfigurationError
 from ..units import micro
@@ -104,7 +105,7 @@ class Msp430:
     """CMOS leakage roughly doubles every ~12 C — the hot-tire tax."""
 
     def current(
-        self, v_dd: float, mode: Mode = None, temperature_c: float = 25.0
+        self, v_dd: float, mode: Optional[Mode] = None, temperature_c: float = 25.0
     ) -> float:
         """Supply current in a mode (default: current mode), amperes.
 
@@ -134,7 +135,7 @@ class Msp430:
         return self.i_lpm4 * scale * leak
 
     def power(
-        self, v_dd: float, mode: Mode = None, temperature_c: float = 25.0
+        self, v_dd: float, mode: Optional[Mode] = None, temperature_c: float = 25.0
     ) -> float:
         """Supply power in a mode, watts."""
         return v_dd * self.current(v_dd, mode, temperature_c)

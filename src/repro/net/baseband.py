@@ -14,7 +14,7 @@ as the matched-window integration predicts.
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,7 +36,7 @@ class NoisyOokChannel:
 
     def __init__(
         self,
-        modulator: OokModulator = None,
+        modulator: Optional[OokModulator] = None,
         snr_db: float = 12.0,
         samples_per_bit: int = 8,
         rng_seed: int = 2008,

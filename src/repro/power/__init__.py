@@ -19,15 +19,40 @@ from .linear_regulator import LinearRegulator
 from .optimizer import (
     AreaDesign,
     EfficiencyPoint,
+    RailTopologyReport,
     SiliconDensities,
     minimum_area_for_efficiency,
     optimize_area_split,
     TopologyComparison,
+    compare_rail_topologies,
     compare_step_up_topologies,
     efficiency_curve,
     log_spaced_loads,
     optimize_fsl_fraction,
     wide_load_range_efficiency,
+)
+from .graph import (
+    CHANNELS,
+    ChargePumpSpec,
+    DrainSpec,
+    GraphSolution,
+    LdoSpec,
+    LoadTapSpec,
+    RailGraph,
+    RailGraphSpec,
+    ScConverterSpec,
+    ShuntSpec,
+    SourceSpec,
+    SwitchSpec,
+)
+from .rail_topologies import (
+    cots_spec,
+    direct_ldo_spec,
+    get_rail_spec,
+    ic_spec,
+    rail_topology_names,
+    register_rail_topology,
+    single_sc_spec,
 )
 from .rectifier import (
     BoostRectifier,
@@ -47,7 +72,26 @@ from . import topologies
 
 __all__ = [
     "BoostRectifier",
+    "CHANNELS",
+    "ChargePumpSpec",
     "Converter",
+    "DrainSpec",
+    "GraphSolution",
+    "LdoSpec",
+    "LoadTapSpec",
+    "RailGraph",
+    "RailGraphSpec",
+    "ScConverterSpec",
+    "ShuntSpec",
+    "SourceSpec",
+    "SwitchSpec",
+    "cots_spec",
+    "direct_ldo_spec",
+    "get_rail_spec",
+    "ic_spec",
+    "rail_topology_names",
+    "register_rail_topology",
+    "single_sc_spec",
     "ConverterIC",
     "ConverterICConfig",
     "CurrentReference",
@@ -71,7 +115,9 @@ __all__ = [
     "VariableRatioConverter",
     "VoltageRange",
     "AreaDesign",
+    "RailTopologyReport",
     "SiliconDensities",
+    "compare_rail_topologies",
     "compare_step_up_topologies",
     "design_for_load",
     "efficiency_curve",

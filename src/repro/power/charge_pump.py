@@ -17,7 +17,7 @@ low-current "snooze" mode that makes it usable in an always-on 6 µW system
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..errors import ConfigurationError, ElectricalError
 from .base import Converter, OperatingPoint, VoltageRange
@@ -55,7 +55,7 @@ class RegulatedChargePump(Converter):
         i_quiescent: float = 30e-6,
         i_snooze: float = 1.0e-6,
         snooze_load_threshold: float = 2e-3,
-        input_range: VoltageRange = None,
+        input_range: Optional[VoltageRange] = None,
         headroom: float = 0.05,
     ) -> None:
         super().__init__(name)

@@ -20,7 +20,7 @@ breakdown is exposed for the E6 experiment.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict
+from typing import Dict, Optional
 
 from ..errors import ConfigurationError
 from .base import OperatingPoint
@@ -80,7 +80,7 @@ class ConverterICConfig:
 class ConverterIC:
     """The composed power-interface IC."""
 
-    def __init__(self, config: ConverterICConfig = None) -> None:
+    def __init__(self, config: Optional[ConverterICConfig] = None) -> None:
         self.config = config or ConverterICConfig()
         cfg = self.config
         self.rectifier = SynchronousRectifier(
@@ -190,7 +190,7 @@ class ConverterIC:
 
     # -- standing current --------------------------------------------------------
 
-    def quiescent_breakdown(self, v_battery: float = None) -> Dict[str, float]:
+    def quiescent_breakdown(self, v_battery: Optional[float] = None) -> Dict[str, float]:
         """Standing battery current by source, amperes (radio rail gated)."""
         v_batt = v_battery or self.config.v_battery_nominal
         mcu_idle = self.mcu_converter.solve(v_batt, 0.0)
@@ -205,11 +205,11 @@ class ConverterIC:
             ),
         }
 
-    def quiescent_current(self, v_battery: float = None) -> float:
+    def quiescent_current(self, v_battery: Optional[float] = None) -> float:
         """Total standing battery current, amperes (paper: ~6.5 µA)."""
         return sum(self.quiescent_breakdown(v_battery).values())
 
-    def quiescent_power(self, v_battery: float = None) -> float:
+    def quiescent_power(self, v_battery: Optional[float] = None) -> float:
         """Standing power from the battery, watts."""
         v_batt = v_battery or self.config.v_battery_nominal
         return v_batt * self.quiescent_current(v_batt)

@@ -11,9 +11,11 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import ConfigurationError, ElectricalError
+from .graph import RailGraph
+from .rail_topologies import RADIO_GATE, get_rail_spec, rail_topology_names
 from .sc_converter import SwitchedCapacitorConverter, design_for_load
 from .scnetwork import SCNetwork
 from .topologies import step_up_family
@@ -84,7 +86,7 @@ def optimize_fsl_fraction(
     v_in: float,
     v_target: float,
     i_load: float,
-    fractions: Sequence[float] = None,
+    fractions: Optional[Sequence[float]] = None,
     **design_kwargs,
 ) -> Dict[str, float]:
     """Search the switch/capacitor impedance split for best efficiency.
@@ -179,7 +181,7 @@ def optimize_area_split(
     v_target: float,
     i_load: float,
     area_total_m2: float,
-    densities: SiliconDensities = None,
+    densities: Optional[SiliconDensities] = None,
     f_max: float = 20e6,
     tau_gate: float = 1.5e-12,
     alpha_bottom_plate: float = 0.0015,
@@ -198,7 +200,7 @@ def optimize_area_split(
     if steps < 3:
         raise ConfigurationError("need at least three sweep steps")
     densities = densities or SiliconDensities()
-    best: AreaDesign = None
+    best: Optional[AreaDesign] = None
     for k in range(1, steps):
         fraction = k / steps
         converter = _converter_for_area(
@@ -232,7 +234,7 @@ def minimum_area_for_efficiency(
     v_target: float,
     i_load: float,
     eta_target: float,
-    densities: SiliconDensities = None,
+    densities: Optional[SiliconDensities] = None,
     **kwargs,
 ) -> AreaDesign:
     """Smallest die area hitting an efficiency target (log bisection).
@@ -283,6 +285,76 @@ class TopologyComparison:
     switch_multiplier_sum: float
     cap_energy_metric: float
     switch_va_metric: float
+
+
+SLEEP_POINT_LOADS = {"mcu": 0.7e-6, "sensor": 0.3e-6}
+TX_POINT_LOADS = {
+    "mcu": 250e-6,
+    "sensor": 450e-6,
+    "radio-digital": 50e-6,
+    "radio-rf": 4e-3,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class RailTopologyReport:
+    """Electrical cost of one registered rail-graph topology.
+
+    ``sleep_*`` is the radio-gated-off standby point that dominates the
+    duty-cycled energy budget; ``tx_*`` is the full transmit burst.
+    ``tx_efficiency`` is delivered load power over battery power at TX.
+    """
+
+    kind: str
+    description: str
+    component_count: int
+    sleep_i_battery: float
+    sleep_p_battery: float
+    tx_p_battery: float
+    tx_efficiency: float
+
+
+def compare_rail_topologies(
+    v_battery: float = 1.25,
+    kinds: Optional[Sequence[str]] = None,
+    sleep_loads: Optional[Dict[str, float]] = None,
+    tx_loads: Optional[Dict[str, float]] = None,
+) -> List[RailTopologyReport]:
+    """Solve every registered rail topology at a sleep and a TX point.
+
+    Works straight on :class:`~repro.power.graph.RailGraph` — no node in
+    the loop — so it answers the designer's question ("which topology
+    wastes least standing by, which converts best under the burst?")
+    before any simulation.  Topologies with no operating point at
+    ``v_battery`` are skipped, matching
+    :func:`compare_step_up_topologies`.
+    """
+    sleep_loads = dict(SLEEP_POINT_LOADS if sleep_loads is None else sleep_loads)
+    tx_loads = dict(TX_POINT_LOADS if tx_loads is None else tx_loads)
+    rows = []
+    for kind in (rail_topology_names() if kinds is None else kinds):
+        spec = get_rail_spec(kind)
+        graph = RailGraph(spec)
+        try:
+            sleep = graph.solve(v_battery, sleep_loads)
+            tx = graph.solve(v_battery, tx_loads, open_gates=frozenset({RADIO_GATE}))
+        except ElectricalError:
+            continue
+        delivered = 0.0
+        for channel, amps in tx_loads.items():
+            delivered += graph.tap_voltage(channel) * amps
+        rows.append(
+            RailTopologyReport(
+                kind=kind,
+                description=spec.description,
+                component_count=len(spec.components),
+                sleep_i_battery=sleep.i_source,
+                sleep_p_battery=sleep.p_source,
+                tx_p_battery=tx.p_source,
+                tx_efficiency=delivered / tx.p_source,
+            )
+        )
+    return rows
 
 
 def compare_step_up_topologies(

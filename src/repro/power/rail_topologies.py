@@ -1,0 +1,371 @@
+"""The rail-topology registry: every known power train, as data.
+
+The two paper topologies (``'cots'`` §4 and ``'ic'`` §7.1) plus
+exploratory ones the PicoCube never built — each a frozen
+:class:`~repro.power.graph.RailGraphSpec` produced by a zero-argument
+factory, so campaigns, the optimizer, and the CLI can enumerate and run
+any registered train by name (``python -m repro train --list``).
+
+The ``'cots'`` and ``'ic'`` factories accept the same parameters the
+retired hand-written train classes took; their default specs solve
+**bit-identically** to the legacy implementations (see
+``tests/core/test_graph_equivalence.py``).  To add a topology, build a
+spec (see ``docs/POWER.md``) and call :func:`register_rail_topology`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ConfigurationError
+from .converter_ic import ConverterICConfig
+from .graph import (
+    ChargePumpSpec,
+    DrainSpec,
+    LdoSpec,
+    LoadTapSpec,
+    RailGraphSpec,
+    ScConverterSpec,
+    ShuntSpec,
+    SourceSpec,
+    SwitchSpec,
+)
+from .references import CurrentReference, SampledBandgap
+
+#: Nominal gated-rail voltages shared by every topology (paper §4.3).
+V_RADIO_DIGITAL = 1.0
+V_RADIO_RF = 0.65
+
+#: The gate group the node's radio sequencing opens and closes.
+RADIO_GATE = "radio"
+
+
+def cots_spec(
+    v_mcu_rail: float = 2.2,
+    pump_i_snooze: float = 1.5e-6,
+    shunt_r_series: float = 8.2e3,
+    ldo_i_ground: float = 1.2e-6,
+    switch_leak: float = 1e-9,
+) -> RailGraphSpec:
+    """The as-built COTS power train of paper §4.
+
+    TPS60313-class charge pump for the always-on rail, a GPIO-fed shunt
+    for the 1.0 V radio logic, and an LT3020-class LDO from the battery
+    for the 0.65 V RF rail, gated at its input by a solid-state switch.
+    """
+    return RailGraphSpec(
+        name="cots-power-train",
+        description="paper §4: charge pump + shunt + switched LDO",
+        components=(
+            SourceSpec(name="battery"),
+            ChargePumpSpec(
+                name="tps60313",
+                parent="battery",
+                v_out=v_mcu_rail,
+                gains=(1.5, 2.0),
+                i_quiescent=28e-6,
+                i_snooze=pump_i_snooze,
+                snooze_load_threshold=2e-3,
+                v_in_min=0.9,
+                v_in_max=1.8,
+            ),
+            LoadTapSpec(name="mcu-tap", parent="tps60313",
+                        channel="mcu", v_rail=v_mcu_rail),
+            LoadTapSpec(name="sensor-tap", parent="tps60313",
+                        channel="sensor", v_rail=v_mcu_rail),
+            ShuntSpec(
+                name="radio-digital-shunt",
+                parent="tps60313",
+                v_out=V_RADIO_DIGITAL,
+                r_series=shunt_r_series,
+                i_bias_min=10e-6,
+                gate=RADIO_GATE,
+            ),
+            LoadTapSpec(name="radio-digital-tap",
+                        parent="radio-digital-shunt",
+                        channel="radio-digital", v_rail=V_RADIO_DIGITAL),
+            SwitchSpec(
+                name="ldo-input-switch",
+                parent="battery",
+                gate=RADIO_GATE,
+                i_leak_off=switch_leak,
+            ),
+            LdoSpec(
+                name="lt3020",
+                parent="ldo-input-switch",
+                v_out=V_RADIO_RF,
+                dropout=0.15,
+                i_ground=ldo_i_ground,
+                i_shutdown=0.0,  # the input switch removes it entirely
+                i_max=10e-3,
+            ),
+            LoadTapSpec(name="radio-rf-tap", parent="lt3020",
+                        channel="radio-rf", v_rail=V_RADIO_RF),
+        ),
+    )
+
+
+def ic_spec(
+    config: Optional[ConverterICConfig] = None,
+    shunt_r_series: float = 8.2e3,
+) -> RailGraphSpec:
+    """The integrated power train of paper §7.1.
+
+    1:2 SC converter for the always-on rail, a 3:2 SC converter
+    post-regulated by an LDO for the RF rail, the shunt kept off the
+    microcontroller rail, and one standing drain grouping the pad-ring
+    leak with the reference blocks (grouped so the sum reproduces the
+    legacy float ordering exactly).
+    """
+    cfg = config or ConverterICConfig()
+    return RailGraphSpec(
+        name="ic-power-train",
+        description="paper §7.1: 1:2 SC + 3:2 SC/LDO power IC",
+        components=(
+            SourceSpec(name="battery"),
+            ScConverterSpec(
+                name="ic-sc-1to2",
+                parent="battery",
+                network="doubler",
+                v_in_design=cfg.v_battery_min,
+                v_out=cfg.v_mcu_rail,
+                i_load_max=cfg.i_mcu_max,
+                f_max=cfg.f_max,
+                margin=cfg.design_margin,
+                fsl_fraction=cfg.fsl_fraction,
+                tau_gate=cfg.tau_gate,
+                alpha_bottom_plate=cfg.alpha_bottom_plate,
+                i_controller=cfg.i_converter_controller,
+            ),
+            LoadTapSpec(name="mcu-tap", parent="ic-sc-1to2",
+                        channel="mcu", v_rail=cfg.v_mcu_rail),
+            LoadTapSpec(name="sensor-tap", parent="ic-sc-1to2",
+                        channel="sensor", v_rail=cfg.v_mcu_rail),
+            ShuntSpec(
+                name="radio-digital-shunt",
+                parent="ic-sc-1to2",
+                v_out=V_RADIO_DIGITAL,
+                r_series=shunt_r_series,
+                i_bias_min=10e-6,
+                gate=RADIO_GATE,
+            ),
+            LoadTapSpec(name="radio-digital-tap",
+                        parent="radio-digital-shunt",
+                        channel="radio-digital", v_rail=V_RADIO_DIGITAL),
+            ScConverterSpec(
+                name="ic-sc-3to2",
+                parent="battery",
+                network="step-down-3:2",
+                v_in_design=cfg.v_battery_min,
+                v_out=cfg.v_radio_intermediate,
+                i_load_max=cfg.i_radio_max,
+                f_max=cfg.f_max,
+                margin=cfg.design_margin,
+                fsl_fraction=cfg.fsl_fraction,
+                tau_gate=cfg.tau_gate,
+                alpha_bottom_plate=cfg.alpha_bottom_plate,
+                i_controller=cfg.i_converter_controller,
+                gate=RADIO_GATE,
+                # Gated off, the chain leaks what the disabled 3:2
+                # converter leaks (the LDO behind it sees no battery).
+                i_leak_off=10e-9,
+            ),
+            LdoSpec(
+                name="ic-radio-ldo",
+                parent="ic-sc-3to2",
+                v_out=cfg.v_radio_rail,
+                dropout=cfg.ldo_dropout,
+                i_ground=cfg.ldo_i_ground,
+                i_shutdown=5e-9,
+                i_max=cfg.i_radio_max,
+            ),
+            LoadTapSpec(name="radio-rf-tap", parent="ic-radio-ldo",
+                        channel="radio-rf", v_rail=cfg.v_radio_rail),
+            DrainSpec(
+                name="ic-standing",
+                parent="battery",
+                contributions=(
+                    ("pad-ring", cfg.i_pad_ring_leak),
+                    ("current-reference",
+                     CurrentReference().supply_current()),
+                    ("sampled-bandgap", SampledBandgap().average_current()),
+                ),
+            ),
+        ),
+    )
+
+
+def direct_ldo_spec() -> RailGraphSpec:
+    """Exploratory: all-linear regulation, no switched-capacitor stages.
+
+    The charge pump still makes the always-on rail (nothing linear can
+    step 1.2 V up), but both radio rails are LDOs — the 1.0 V logic rail
+    dropped from the microcontroller rail, the 0.65 V RF rail straight
+    off the battery.  The shunt's standing bleed disappears; the price is
+    linear-loss RF efficiency, which is exactly the trade the topology
+    sweep is meant to expose.
+    """
+    v_mcu_rail = 2.2
+    return RailGraphSpec(
+        name="direct-ldo-power-train",
+        description="exploratory: charge pump + two gated LDOs, no shunt",
+        components=(
+            SourceSpec(name="battery"),
+            ChargePumpSpec(
+                name="tps60313",
+                parent="battery",
+                v_out=v_mcu_rail,
+                gains=(1.5, 2.0),
+                i_quiescent=28e-6,
+                i_snooze=1.5e-6,
+                snooze_load_threshold=2e-3,
+                v_in_min=0.9,
+                v_in_max=1.8,
+            ),
+            LoadTapSpec(name="mcu-tap", parent="tps60313",
+                        channel="mcu", v_rail=v_mcu_rail),
+            LoadTapSpec(name="sensor-tap", parent="tps60313",
+                        channel="sensor", v_rail=v_mcu_rail),
+            LdoSpec(
+                name="radio-digital-ldo",
+                parent="tps60313",
+                v_out=V_RADIO_DIGITAL,
+                dropout=0.2,
+                i_ground=1.0e-6,
+                i_shutdown=0.0,
+                i_max=1e-3,
+                gate=RADIO_GATE,
+                i_leak_off=1e-9,
+            ),
+            LoadTapSpec(name="radio-digital-tap",
+                        parent="radio-digital-ldo",
+                        channel="radio-digital", v_rail=V_RADIO_DIGITAL),
+            LdoSpec(
+                name="radio-rf-ldo",
+                parent="battery",
+                v_out=V_RADIO_RF,
+                dropout=0.15,
+                i_ground=1.2e-6,
+                i_shutdown=0.0,
+                i_max=10e-3,
+                gate=RADIO_GATE,
+                i_leak_off=1e-9,
+            ),
+            LoadTapSpec(name="radio-rf-tap", parent="radio-rf-ldo",
+                        channel="radio-rf", v_rail=V_RADIO_RF),
+        ),
+    )
+
+
+def single_sc_spec() -> RailGraphSpec:
+    """Exploratory: one shared 1:2 SC rail feeds everything.
+
+    A single doubler (sized for the full TX load) holds a 2.1 V rail;
+    the radio logic shunt and a 2.1 -> 0.65 V LDO both hang off it.  One
+    converter's quiescent current instead of two, but the RF chain pays
+    double conversion (SC up, then a deep linear drop) — the opposite
+    corner of the design space from the paper's IC.
+    """
+    v_rail = 2.1
+    return RailGraphSpec(
+        name="single-sc-power-train",
+        description="exploratory: one shared 1:2 SC rail for all loads",
+        components=(
+            SourceSpec(name="battery"),
+            ScConverterSpec(
+                name="shared-sc-1to2",
+                parent="battery",
+                network="doubler",
+                v_in_design=1.1,
+                v_out=v_rail,
+                # Sized to carry MCU + sensor + shunt + the RF LDO input
+                # at full transmit, with the standard design margin.
+                i_load_max=8e-3,
+                f_max=20e6,
+                margin=1.3,
+                fsl_fraction=0.4,
+                tau_gate=1.5e-12,
+                alpha_bottom_plate=0.0015,
+                i_controller=0.35e-6,
+            ),
+            LoadTapSpec(name="mcu-tap", parent="shared-sc-1to2",
+                        channel="mcu", v_rail=v_rail),
+            LoadTapSpec(name="sensor-tap", parent="shared-sc-1to2",
+                        channel="sensor", v_rail=v_rail),
+            ShuntSpec(
+                name="radio-digital-shunt",
+                parent="shared-sc-1to2",
+                v_out=V_RADIO_DIGITAL,
+                r_series=8.2e3,
+                i_bias_min=10e-6,
+                gate=RADIO_GATE,
+            ),
+            LoadTapSpec(name="radio-digital-tap",
+                        parent="radio-digital-shunt",
+                        channel="radio-digital", v_rail=V_RADIO_DIGITAL),
+            LdoSpec(
+                name="radio-rf-ldo",
+                parent="shared-sc-1to2",
+                v_out=V_RADIO_RF,
+                dropout=0.1,
+                i_ground=0.5e-6,
+                i_shutdown=5e-9,
+                i_max=6e-3,
+                gate=RADIO_GATE,
+                i_leak_off=5e-9,
+            ),
+            LoadTapSpec(name="radio-rf-tap", parent="radio-rf-ldo",
+                        channel="radio-rf", v_rail=V_RADIO_RF),
+            DrainSpec(
+                name="gate-driver-standing",
+                parent="battery",
+                contributions=(("sequencer-leak", 0.2e-6),),
+            ),
+        ),
+    )
+
+
+_RAIL_TOPOLOGIES: Dict[str, Callable[[], RailGraphSpec]] = {
+    "cots": cots_spec,
+    "ic": ic_spec,
+    "direct-ldo": direct_ldo_spec,
+    "single-sc": single_sc_spec,
+}
+
+
+def rail_topology_names() -> List[str]:
+    """Registered power-train kinds, in registration order."""
+    return list(_RAIL_TOPOLOGIES)
+
+
+def get_rail_spec(kind: str) -> RailGraphSpec:
+    """The default :class:`RailGraphSpec` for a registered kind."""
+    factory = _RAIL_TOPOLOGIES.get(kind)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown power train kind {kind!r}; valid kinds: "
+            f"{', '.join(rail_topology_names())}"
+        )
+    return factory()
+
+
+def register_rail_topology(
+    kind: str, factory: Callable[[], RailGraphSpec]
+) -> None:
+    """Register a zero-argument spec factory under ``kind``.
+
+    The factory's spec is validated immediately so a broken registration
+    fails at registration time, not mid-campaign.
+    """
+    if not kind:
+        raise ConfigurationError("rail topology needs a non-empty kind")
+    if kind in _RAIL_TOPOLOGIES:
+        raise ConfigurationError(
+            f"rail topology {kind!r} already registered"
+        )
+    spec = factory()
+    if not isinstance(spec, RailGraphSpec):
+        raise ConfigurationError(
+            f"rail topology {kind!r} factory must return a RailGraphSpec"
+        )
+    _RAIL_TOPOLOGIES[kind] = factory

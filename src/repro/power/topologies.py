@@ -239,6 +239,42 @@ def fibonacci_ratio(stages: int) -> int:
     return b
 
 
+#: Canonical two-phase networks addressable by name from a
+#: :class:`~repro.power.graph.ScConverterSpec`.  Builders take no
+#: arguments so a spec stays pure data; parameterized families can be
+#: registered as closures via :func:`register_rail_network`.
+_RAIL_NETWORKS = {
+    "doubler": doubler,
+    "step-down-3:2": step_down_3_to_2,
+    "fractional-3:2-up": lambda: fractional_step_up(2),
+}
+
+
+def rail_network(name: str) -> SCNetwork:
+    """Build the named canonical network for a rail-graph converter."""
+    builder = _RAIL_NETWORKS.get(name)
+    if builder is None:
+        raise ConfigurationError(
+            f"unknown rail network {name!r}; valid networks: "
+            f"{', '.join(rail_network_names())}"
+        )
+    return builder()
+
+
+def rail_network_names() -> List[str]:
+    """Names accepted by :func:`rail_network`, in registration order."""
+    return list(_RAIL_NETWORKS)
+
+
+def register_rail_network(name: str, builder) -> None:
+    """Register a zero-argument network builder under ``name``."""
+    if not name:
+        raise ConfigurationError("rail network needs a non-empty name")
+    if name in _RAIL_NETWORKS:
+        raise ConfigurationError(f"rail network {name!r} already registered")
+    _RAIL_NETWORKS[name] = builder
+
+
 def step_up_family(name: str, n: int) -> SCNetwork:
     """Dispatch a step-up topology family by name (for sweep benchmarks)."""
     builders = {

@@ -19,7 +19,7 @@ the standard :class:`~repro.power.base.Converter` interface.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError, ElectricalError
 from .base import Converter, OperatingPoint
@@ -67,7 +67,7 @@ class VariableRatioConverter(Converter):
         name: str,
         v_target: float,
         i_load_max: float,
-        networks: Sequence[SCNetwork] = None,
+        networks: Optional[Sequence[SCNetwork]] = None,
         v_in_range: Tuple[float, float] = (0.9, 2.8),
         headroom: float = 1.02,
         f_max: float = 20e6,
@@ -117,7 +117,7 @@ class VariableRatioConverter(Converter):
         # Sort by ratio ascending so selection picks the smallest workable M.
         self.gears.sort(key=lambda g: g.ratio)
         self.gear_changes = 0
-        self._last_gear: SwitchedCapacitorConverter = None
+        self._last_gear: Optional[SwitchedCapacitorConverter] = None
 
     # -- gear selection --------------------------------------------------------
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+from typing import Optional
 
 from ..errors import ConfigurationError
 from ..units import SPEED_OF_LIGHT, mils_to_metres, pico
@@ -65,7 +66,7 @@ class PatchAntenna:
         name: str = "picocube-patch",
         patch_length_m: float = 9.0e-3,
         material: DielectricMaterial = ROGERS_3010,
-        thickness_m: float = None,
+        thickness_m: Optional[float] = None,
         frequency_hz: float = 1.863e9,
         matching_network_q: float = 40.0,
     ) -> None:

@@ -16,6 +16,7 @@ rail for the whole burst.
 from __future__ import annotations
 
 import dataclasses
+from typing import Optional
 
 from ..errors import ConfigurationError
 from ..units import dbm_to_watts, watts_to_dbm
@@ -58,7 +59,7 @@ class FbarTransmitter:
         v_digital_rail: float = 1.0,
         i_digital: float = 50e-6,
         max_bit_rate: float = 330e3,
-        resonator: FbarResonator = None,
+        resonator: Optional[FbarResonator] = None,
     ) -> None:
         if p_rf <= 0.0:
             raise ConfigurationError(f"{name}: RF power must be positive")

@@ -48,7 +48,7 @@ class PowerRecorder:
 
     # -- aggregates --------------------------------------------------------------
 
-    def energy(self, name: str, start: float = None, end: float = None) -> float:
+    def energy(self, name: str, start: Optional[float] = None, end: Optional[float] = None) -> float:
         """Energy (J) consumed on one channel over ``[start, end]``.
 
         Channels are created lazily at first record and draw 0 W before
@@ -68,11 +68,11 @@ class PowerRecorder:
             return 0.0
         return trace.integral(lo, hi)
 
-    def total_energy(self, start: float = None, end: float = None) -> float:
+    def total_energy(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
         """Energy (J) summed over all channels."""
         return sum(self.energy(name, start, end) for name in self._channels)
 
-    def average_power(self, start: float = None, end: float = None) -> float:
+    def average_power(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
         """Average total power (W) over ``[start, end]``.
 
         Defaults to the full simulated span; this is the number compared
@@ -88,7 +88,7 @@ class PowerRecorder:
         return self.total_energy(start, end) / (end - start)
 
     def energy_breakdown(
-        self, start: float = None, end: float = None
+        self, start: Optional[float] = None, end: Optional[float] = None
     ) -> Dict[str, float]:
         """Per-channel energy (J), sorted descending — the audit table."""
         items = [(name, self.energy(name, start, end)) for name in self._channels]

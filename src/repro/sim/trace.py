@@ -364,7 +364,7 @@ class StepTrace:
         """
         return list(self.iter_breakpoints())
 
-    def integral(self, start: float = None, end: float = None) -> float:
+    def integral(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
         """Exact integral of the step function over ``[start, end]``.
 
         Defaults to the full recorded span.  For a power trace this is the
@@ -459,7 +459,7 @@ class StepTrace:
             previous_t, previous_v = time, self._values[i]
         yield previous_v * (end - previous_t)
 
-    def mean(self, start: float = None, end: float = None) -> float:
+    def mean(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
         """Time-average of the signal over ``[start, end]``.
 
         Like :meth:`integral`, raises :class:`SimulationError` when the
@@ -478,11 +478,11 @@ class StepTrace:
             raise SimulationError(f"mean needs a positive span, got [{start}, {end}]")
         return self.integral(start, end) / (end - start)
 
-    def maximum(self, start: float = None, end: float = None) -> float:
+    def maximum(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
         """Maximum value attained on ``[start, end]``."""
         return max(v for _, v in self._segments_overlapping(start, end))
 
-    def minimum(self, start: float = None, end: float = None) -> float:
+    def minimum(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
         """Minimum value attained on ``[start, end]``."""
         return min(v for _, v in self._segments_overlapping(start, end))
 
@@ -491,7 +491,7 @@ class StepTrace:
         return [self.value_at(t) for t in times]
 
     def _segments_overlapping(
-        self, start: float = None, end: float = None
+        self, start: Optional[float] = None, end: Optional[float] = None
     ) -> Iterable[Tuple[float, float]]:
         """(time, value) pairs covering every value attained on the window.
 

@@ -14,6 +14,8 @@ flat 1.2 V plateau.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..errors import StorageError
 from .base import EnergyStorage
 
@@ -75,7 +77,7 @@ def supercapacitor(
     capacitance: float = 0.22,
     v_rated: float = 2.5,
     esr: float = 30.0,
-    mass_grams: float = None,
+    mass_grams: Optional[float] = None,
     v_min_usable: float = 0.9,
 ) -> CapacitorStorage:
     """A small EDLC sized like a coin-cell supercap.
@@ -100,7 +102,7 @@ def ceramic_capacitor(
     capacitance: float = 100e-6,
     v_rated: float = 6.3,
     esr: float = 0.02,
-    mass_grams: float = None,
+    mass_grams: Optional[float] = None,
     v_min_usable: float = 0.9,
 ) -> CapacitorStorage:
     """A bulk ceramic/tantalum capacitor bank (bypass-grade storage).

@@ -1,9 +1,10 @@
-"""API-contract rules: frozen events, __slots__, mutable defaults."""
+"""API-contract rules: frozen events, __slots__, mutable defaults, specs."""
 
 from repro.analysis import (
     MissingSlotsRule,
     MutableDefaultRule,
     UnfrozenFaultEventRule,
+    UnfrozenRailSpecRule,
 )
 
 from .conftest import rule_ids
@@ -207,4 +208,97 @@ def test_tuple_and_frozen_defaults_are_clean(lint_snippet):
         """,
         rules=[MutableDefaultRule()],
     )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# API004: rail-graph specs stay frozen dataclasses
+# ---------------------------------------------------------------------------
+
+
+def test_unfrozen_rail_spec_is_caught(lint_snippet):
+    findings = lint_snippet(
+        """
+        import dataclasses
+
+        @dataclasses.dataclass
+        class BuckSpec:
+            name: str = "buck"
+        """,
+        relpath="repro/power/graph.py",
+        rules=[UnfrozenRailSpecRule()],
+    )
+    assert rule_ids(findings) == ["API004"]
+    assert "BuckSpec" in findings[0].message
+
+
+def test_non_dataclass_rail_spec_is_caught(lint_snippet):
+    findings = lint_snippet(
+        """
+        class BoostSpec:
+            def __init__(self, name):
+                self.name = name
+        """,
+        relpath="repro/power/rail_topologies.py",
+        rules=[UnfrozenRailSpecRule()],
+    )
+    assert rule_ids(findings) == ["API004"]
+    assert "dataclass" in findings[0].message
+
+
+def test_frozen_rail_spec_is_clean(lint_snippet):
+    findings = lint_snippet(
+        """
+        import dataclasses
+
+        @dataclasses.dataclass(frozen=True)
+        class BuckSpec:
+            name: str = "buck"
+        """,
+        relpath="repro/power/graph.py",
+        rules=[UnfrozenRailSpecRule()],
+    )
+    assert findings == []
+
+
+def test_non_spec_class_in_graph_module_is_exempt(lint_snippet):
+    findings = lint_snippet(
+        """
+        class RailGraph:
+            def __init__(self, spec):
+                self.spec = spec
+        """,
+        relpath="repro/power/graph.py",
+        rules=[UnfrozenRailSpecRule()],
+    )
+    assert findings == []
+
+
+def test_spec_classes_outside_rail_modules_are_out_of_scope(lint_snippet):
+    findings = lint_snippet(
+        """
+        import dataclasses
+
+        @dataclasses.dataclass
+        class AntennaSpec:
+            gain_dbi: float = 2.0
+        """,
+        relpath="repro/radio/antenna.py",
+        rules=[UnfrozenRailSpecRule()],
+    )
+    assert findings == []
+
+
+def test_api004_is_clean_on_the_real_rail_modules():
+    """The shipped graph/topology modules satisfy their own contract."""
+    import pathlib
+
+    from repro.analysis import analyze_paths
+
+    root = pathlib.Path(__file__).resolve().parents[2]
+    paths = [
+        root / "src" / "repro" / "power" / "graph.py",
+        root / "src" / "repro" / "power" / "rail_topologies.py",
+    ]
+    findings = analyze_paths(paths, [UnfrozenRailSpecRule()], root=root)
     assert findings == []

@@ -112,6 +112,47 @@ class TestConverterDegradation:
         assert degraded.battery.charge < healthy.battery.charge
 
 
+class TestComponentDegradation:
+    def test_component_factor_applied_and_restored(self):
+        node, _ = armed_node(
+            ConverterDegradation(0.0, 100.0, loss_factor=1.5,
+                                 component="tps60313")
+        )
+        node.run(50.0)
+        assert node.train.component_degradations() == {"tps60313": 1.5}
+        assert node.train.loss_factor == 1.0  # train-wide path untouched
+        node.run(100.0)
+        assert node.train.component_degradations() == {}
+
+    def test_overlapping_component_faults_compose_multiplicatively(self):
+        node, _ = armed_node(
+            ConverterDegradation(0.0, 200.0, loss_factor=1.2,
+                                 component="tps60313"),
+            ConverterDegradation(50.0, 100.0, loss_factor=1.5,
+                                 component="tps60313"),
+        )
+        node.run(100.0)
+        assert node.train.component_degradations() == {
+            "tps60313": pytest.approx(1.8)
+        }
+        node.run(75.0)
+        assert node.train.component_degradations() == {
+            "tps60313": pytest.approx(1.2)
+        }
+        node.run(50.0)
+        assert node.train.component_degradations() == {}
+
+    def test_aged_component_costs_battery_charge(self):
+        healthy = PicoCube(NodeConfig())
+        healthy.run(600.0)
+        degraded, _ = armed_node(
+            ConverterDegradation(0.0, 600.0, loss_factor=1.8,
+                                 component="tps60313")
+        )
+        degraded.run(600.0)
+        assert degraded.battery.charge < healthy.battery.charge
+
+
 class TestSpuriousReset:
     def test_reset_restarts_the_sequence_counter(self):
         node, _ = armed_node(SpuriousReset(61.0))

@@ -40,6 +40,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_TARGETS = [
     "benchmarks/test_sim_performance.py",
     "benchmarks/test_e29_year_scale.py",
+    "benchmarks/test_train_solve_throughput.py",
 ]
 
 
