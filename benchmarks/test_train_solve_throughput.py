@@ -13,9 +13,14 @@ legacy" budget.
 
 from __future__ import annotations
 
+import time
+
+import numpy as np
 import pytest
 
 from repro.core import LoadState, make_power_train
+from repro.power.graph import RailGraph
+from repro.power.rail_topologies import get_rail_spec
 
 SLEEP = LoadState(i_mcu=0.7e-6, i_sensor=0.3e-6)
 ACTIVE = LoadState(i_mcu=250e-6, i_sensor=450e-6)
@@ -47,3 +52,56 @@ def _solve_mixed_workload(kinds):
 def test_perf_train_solve_throughput(benchmark):
     total = benchmark(_solve_mixed_workload, ("cots", "ic"))
     assert total > 0.0
+
+
+#: Operating-point count for the batched sweep benchmarks — large enough
+#: that the batch path's fixed per-component cost amortizes, and the
+#: size named by the "solve_batch is >= 5x a scalar loop" acceptance
+#: gate below.
+BATCH_POINTS = 1024
+
+BATCH_V = np.linspace(1.15, 1.40, BATCH_POINTS)
+BATCH_LOADS = {"mcu": 0.7e-6, "sensor": 0.3e-6}
+
+
+def _solve_batched_sweep(kinds):
+    total = 0.0
+    for kind in kinds:
+        graph = RailGraph(get_rail_spec(kind))
+        batch = graph.solve_batch(BATCH_V, BATCH_LOADS)
+        total += float(batch.p_source.sum())
+    return total
+
+
+@pytest.mark.benchmark(group="power-train")
+def test_perf_train_solve_batch_throughput(benchmark):
+    total = benchmark(_solve_batched_sweep, ("cots", "ic"))
+    assert total > 0.0
+
+
+def test_solve_batch_at_least_5x_faster_than_scalar_loop():
+    """Acceptance gate: one ``solve_batch`` over 1024 operating points
+    must beat 1024 scalar ``solve`` calls by >= 5x.  Measured with the
+    best-of-N minimum so scheduler noise cannot fail a healthy build.
+    """
+    graph = RailGraph(get_rail_spec("cots"))
+    graph.solve_batch(BATCH_V, BATCH_LOADS)  # warm any lazy state
+
+    def best_of(fn, repeats=5):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    t_batch = best_of(lambda: graph.solve_batch(BATCH_V, BATCH_LOADS))
+    t_scalar = best_of(
+        lambda: [graph.solve(float(v), BATCH_LOADS) for v in BATCH_V]
+    )
+    speedup = t_scalar / t_batch
+    assert speedup >= 5.0, (
+        f"solve_batch only {speedup:.1f}x faster than the scalar loop "
+        f"at {BATCH_POINTS} points (scalar {t_scalar * 1e3:.2f} ms, "
+        f"batch {t_batch * 1e3:.2f} ms)"
+    )

@@ -29,7 +29,6 @@ from .board import (
 )
 from .board.pcb import PadRing
 from .core import (
-    LoadState,
     NodeConfig,
     PicoCube,
     audit_node,
@@ -411,9 +410,9 @@ def rail_topology_task(params: Tuple[str, float]) -> TopologyOutcome:
     """
     kind, duration_s = params
     node = build_tpms_node(power_train=kind)
-    sleep_solution = node.train.solve(
+    sleep_batch = node.train.solve_graph_batch(
         node.battery.open_circuit_voltage(),
-        LoadState(i_mcu=0.7e-6, i_sensor=0.3e-6),
+        {"mcu": 0.7e-6, "sensor": 0.3e-6},
     )
     node.run(duration_s)
     average_power_w = node.average_power()
@@ -423,7 +422,7 @@ def rail_topology_task(params: Tuple[str, float]) -> TopologyOutcome:
         kind=kind,
         cycles=node.cycles_completed,
         average_power_w=average_power_w,
-        sleep_power_w=sleep_solution.p_battery,
+        sleep_power_w=float(sleep_batch.p_source[0]),
         management_share=(management_j / total_j) if total_j > 0.0 else 0.0,
     )
 

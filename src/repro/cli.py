@@ -176,6 +176,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
     )
     if loads.i_radio_digital > 0.0 or loads.i_radio_rf > 0.0:
         train.enable_radio()
+    if args.batch:
+        return _solve_train_batch(train, loads, args)
     try:
         solution = train.solve(args.v_battery, loads)
     except ElectricalError as exc:
@@ -188,6 +190,39 @@ def _cmd_train(args: argparse.Namespace) -> int:
     for name, watts in solution.subsystem_power.items():
         print(f"  {name:<14}{watts * 1e6:10.3f} uW")
     print(f"  {'management':<14}{solution.p_management * 1e6:10.3f} uW")
+    return 0
+
+
+def _solve_train_batch(train, loads, args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .errors import ElectricalError
+
+    if args.batch < 2:
+        print("--batch needs at least 2 points", file=sys.stderr)
+        return 2
+    if not args.v_min < args.v_max:
+        print("--v-min must be below --v-max", file=sys.stderr)
+        return 2
+    v_sweep = np.linspace(args.v_min, args.v_max, args.batch)
+    channel_loads = {
+        "mcu": loads.i_mcu,
+        "sensor": loads.i_sensor,
+        "radio-digital": loads.i_radio_digital,
+        "radio-rf": loads.i_radio_rf,
+    }
+    try:
+        batch = train.solve_graph_batch(v_sweep, channel_loads)
+    except ElectricalError as exc:
+        print(f"no operating point: {exc}", file=sys.stderr)
+        return 1
+    print(f"{train.name}: {args.batch} points, "
+          f"{args.v_min:.3f}-{args.v_max:.3f} V")
+    print(f"{'v_battery':>10} {'i_battery':>12} {'p_battery':>12}")
+    for k in range(len(batch)):
+        print(f"{batch.v_source[k]:8.4f} V "
+              f"{batch.i_source[k] * 1e6:9.3f} uA "
+              f"{batch.p_source[k] * 1e6:9.3f} uW")
     return 0
 
 
@@ -404,6 +439,14 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--i-radio-rf", type=float, default=0.0,
                        help="radio RF load, amperes (gates the radio "
                             "rails on when nonzero)")
+    train.add_argument("--batch", type=int, default=0, metavar="N",
+                       help="with --solve: sweep N battery voltages "
+                            "between --v-min and --v-max in one "
+                            "solve_batch call and print a table")
+    train.add_argument("--v-min", type=float, default=1.15,
+                       help="low end of the --batch sweep (default: 1.15 V)")
+    train.add_argument("--v-max", type=float, default=1.40,
+                       help="high end of the --batch sweep (default: 1.40 V)")
     train.set_defaults(handler=_cmd_train)
 
     chaos = sub.add_parser("chaos", help="seeded fault-storm Monte Carlo")

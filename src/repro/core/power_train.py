@@ -28,9 +28,16 @@ import dataclasses
 import math
 from typing import Dict, Optional
 
+import numpy as np
+
 from ..errors import ConfigurationError, ElectricalError
 from ..power import ConverterIC, ConverterICConfig, PowerSwitch
-from ..power.graph import GraphSolution, RailGraph, RailGraphSpec
+from ..power.graph import (
+    GraphSolution,
+    GraphSolutionBatch,
+    RailGraph,
+    RailGraphSpec,
+)
 from ..power.rail_topologies import (
     RADIO_GATE,
     V_RADIO_DIGITAL,
@@ -238,6 +245,31 @@ class GraphPowerTrain(PowerTrain):
                 "radio-digital": loads.i_radio_digital,
                 "radio-rf": loads.i_radio_rf,
             },
+            open_gates=self._open_gates,
+            degradation=self._component_degradations,
+        )
+
+    def solve_graph_batch(
+        self, v_battery, loads: Dict
+    ) -> GraphSolutionBatch:
+        """Batched raw graph solutions over an operating-point axis.
+
+        ``v_battery`` and the ``loads`` values (channel name to amperes)
+        broadcast along one batch axis; the train's current gate state
+        and per-component degradations apply to every point.  The scalar
+        :meth:`solve_graph` stays the bit-exact reference — see
+        :data:`repro.power.graph.ULP_BUDGET`.
+        """
+        if not self.radio_enabled:
+            for channel in ("radio-digital", "radio-rf"):
+                if np.any(np.asarray(loads.get(channel, 0.0)) > 0.0):
+                    raise ElectricalError(
+                        f"{self.name}: radio load with its supplies "
+                        f"gated off"
+                    )
+        return self.graph.solve_batch(
+            v_battery,
+            loads,
             open_gates=self._open_gates,
             degradation=self._component_degradations,
         )

@@ -33,9 +33,12 @@ from .optimizer import (
 )
 from .graph import (
     CHANNELS,
+    ULP_BUDGET,
     ChargePumpSpec,
     DrainSpec,
+    FrozenMapping,
     GraphSolution,
+    GraphSolutionBatch,
     LdoSpec,
     LoadTapSpec,
     RailGraph,
@@ -73,10 +76,13 @@ from . import topologies
 __all__ = [
     "BoostRectifier",
     "CHANNELS",
+    "ULP_BUDGET",
     "ChargePumpSpec",
     "Converter",
     "DrainSpec",
+    "FrozenMapping",
     "GraphSolution",
+    "GraphSolutionBatch",
     "LdoSpec",
     "LoadTapSpec",
     "RailGraph",

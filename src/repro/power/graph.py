@@ -35,7 +35,14 @@ injected *per stage* rather than train-wide.
 from __future__ import annotations
 
 import dataclasses
-from typing import ClassVar, Dict, FrozenSet, List, Mapping, Optional, Tuple
+import math
+from collections.abc import Mapping as MappingABC
+from typing import (
+    ClassVar, Dict, FrozenSet, Iterator, List, Mapping, Optional, Tuple,
+    Union,
+)
+
+import numpy as np
 
 from ..errors import ConfigurationError
 from .charge_pump import RegulatedChargePump
@@ -48,9 +55,15 @@ from .topologies import rail_network
 #: The node's subsystem channels, in recorder attribution order.
 CHANNELS = ("mcu", "sensor", "radio-digital", "radio-rf")
 
-
-def _finite(value: float) -> bool:
-    return value == value and value not in (float("inf"), float("-inf"))
+#: Largest allowed ulp distance between :meth:`RailGraph.solve_batch` and
+#: the scalar :meth:`RailGraph.solve` reference, per component current.
+#: The batched path mirrors the scalar expressions operation for
+#: operation, but numpy may square via multiplication where CPython calls
+#: ``pow`` — at most a correctly-rounded-result-vs-correctly-rounded-
+#: result difference.  ``tests/power/test_graph_batch.py`` enforces this
+#: budget over every registered topology; the 440 float-hex goldens pin
+#: the scalar solver itself.
+ULP_BUDGET = 4
 
 
 # ---------------------------------------------------------------------------
@@ -318,7 +331,7 @@ class RailGraphSpec:
                 channels.append(comp.channel)
             if isinstance(comp, DrainSpec):
                 for label, amps in comp.contributions:
-                    if not label or amps < 0.0 or not _finite(amps):
+                    if not label or amps < 0.0 or not math.isfinite(amps):
                         raise ConfigurationError(
                             f"{self.name}: drain {comp.name!r} has a bad "
                             f"contribution ({label!r}, {amps!r})"
@@ -380,6 +393,53 @@ class RailGraphSpec:
 # ---------------------------------------------------------------------------
 
 
+class FrozenMapping(MappingABC):
+    """An immutable, insertion-ordered, picklable mapping.
+
+    :attr:`GraphSolution.component_i_in` is shared through memo caches, so
+    handing callers a plain ``dict`` would let any of them corrupt every
+    later reader.  ``types.MappingProxyType`` would also freeze it but
+    cannot cross a process-pool boundary; this tuple-reducible wrapper
+    pickles fine.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Union[Mapping, Tuple, List] = ()) -> None:
+        self._data = dict(data)
+
+    @classmethod
+    def _adopt(cls, data: Dict) -> "FrozenMapping":
+        """Wrap ``data`` without copying (caller must drop its reference)."""
+        self = cls.__new__(cls)
+        self._data = data
+        return self
+
+    def __getitem__(self, key):
+        return self._data[key]
+
+    def __iter__(self) -> Iterator:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, FrozenMapping):
+            return self._data == other._data
+        if isinstance(other, (dict, MappingABC)):
+            return self._data == dict(other)
+        return NotImplemented
+
+    __hash__ = None  # mutable values (arrays) may live inside
+
+    def __reduce__(self):
+        return (FrozenMapping, (tuple(self._data.items()),))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FrozenMapping({self._data!r})"
+
+
 @dataclasses.dataclass(frozen=True)
 class GraphSolution:
     """One quasi-static solve of a rail graph."""
@@ -388,12 +448,50 @@ class GraphSolution:
     i_source: float
     #: Input-side current contributed by every component, by name (after
     #: any per-component degradation; gated-off components show leakage).
-    component_i_in: Dict[str, float]
+    #: Immutable: solutions are shared through memo caches.
+    component_i_in: Mapping[str, float]
 
     @property
     def p_source(self) -> float:
         """Total power leaving the source, watts."""
         return self.v_source * self.i_source
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class GraphSolutionBatch:
+    """A vectorized solve of one rail graph over a batch of points.
+
+    Shapes are ``(n,)`` along the batch axis.  Values agree with the
+    scalar :class:`GraphSolution` reference within :data:`ULP_BUDGET`
+    ulps per component; where a per-point gate mask closes a subtree, the
+    descendants' entries in :attr:`component_i_in` are meaningful only at
+    the points where the gate is open.
+    """
+
+    v_source: np.ndarray
+    i_source: np.ndarray
+    #: Input-side current array per component (immutable mapping; the
+    #: arrays themselves must be treated as read-only).
+    component_i_in: Mapping[str, np.ndarray]
+
+    @property
+    def p_source(self) -> np.ndarray:
+        """Per-point power leaving the source, watts."""
+        return self.v_source * self.i_source
+
+    def __len__(self) -> int:
+        return int(self.i_source.shape[0])
+
+    def point(self, index: int) -> GraphSolution:
+        """The scalar :class:`GraphSolution` view of one batch point."""
+        return GraphSolution(
+            v_source=float(self.v_source[index]),
+            i_source=float(self.i_source[index]),
+            component_i_in=FrozenMapping._adopt({
+                name: float(arr[index])
+                for name, arr in self.component_i_in.items()
+            }),
+        )
 
 
 class RailGraph:
@@ -450,6 +548,10 @@ class RailGraph:
                 getattr(comp, "i_leak_off", 0.0),
                 entry,
             )
+        self._component_set = frozenset(
+            comp.name for comp in spec.components
+        )
+        self._gate_set = frozenset(spec.gate_names())
 
     @staticmethod
     def _build(comp):
@@ -559,8 +661,9 @@ class RailGraph:
 
         ``loads`` maps channel names to amperes (missing channels draw
         zero); ``open_gates`` lists the gate groups currently conducting;
-        ``degradation`` multiplies named components' input currents.
-        Raises :class:`~repro.errors.ElectricalError` (from the component
+        ``degradation`` multiplies named components' input currents (its
+        keys must name graph components).  Raises
+        :class:`~repro.errors.ElectricalError` (from the component
         models) when any stage is out of its operating envelope.
         """
         for channel, amps in loads.items():
@@ -569,12 +672,14 @@ class RailGraph:
                     f"{self.spec.name}: load on untapped channel "
                     f"{channel!r}"
                 )
-            if not _finite(amps) or amps < 0.0:
+            if not math.isfinite(amps) or amps < 0.0:
                 raise ConfigurationError(
                     f"{self.spec.name}: load {channel!r} must be finite "
                     f"and >= 0, got {amps!r}"
                 )
         degradation = degradation or {}
+        if degradation:
+            self._check_degradation_keys(degradation)
         currents: Dict[str, float] = {}
         i_source = 0.0
         for child in self._child_names[self.spec.source.name]:
@@ -582,8 +687,22 @@ class RailGraph:
                 child, v_source, loads, open_gates, degradation, currents
             )
         return GraphSolution(
-            v_source=v_source, i_source=i_source, component_i_in=currents
+            v_source=v_source, i_source=i_source,
+            component_i_in=FrozenMapping._adopt(currents),
         )
+
+    def _check_degradation_keys(self, degradation: Mapping) -> None:
+        """Reject degradation entries that name no graph component.
+
+        Mirrors ``GraphPowerTrain.set_component_degradation``: a typo'd
+        component name must raise, not silently no-op.
+        """
+        for name in degradation:
+            if name not in self._component_set:
+                raise ConfigurationError(
+                    f"{self.spec.name}: no component {name!r} to degrade; "
+                    f"components: {', '.join(self.component_names())}"
+                )
 
     def _branch(self, name, v_in, loads, open_gates, degradation,
                 currents) -> float:
@@ -614,6 +733,189 @@ class RailGraph:
         for child in self._child_names[name]:
             i_load = i_load + self._branch(
                 child, v_rail, loads, open_gates, degradation, currents
+            )
+        return i_load
+
+    # -- batched solving ---------------------------------------------------
+
+    def solve_batch(
+        self,
+        v_source,
+        loads: Mapping,
+        open_gates: Union[FrozenSet[str], Mapping] = frozenset(),
+        degradation: Optional[Mapping] = None,
+    ) -> GraphSolutionBatch:
+        """Vectorized :meth:`solve` over a batch of operating points.
+
+        The precomputed dispatch plan is executed **once per component**
+        over the whole batch instead of once per point, so a sweep over
+        thousands of (loads, degradation, voltage) points pays component
+        arithmetic, not Python walk overhead.  Inputs broadcast along one
+        batch axis:
+
+        * ``v_source`` — scalar or ``(n,)`` array of source voltages;
+        * ``loads`` — channel name to scalar or ``(n,)`` amperes;
+        * ``open_gates`` — either a frozenset of gate names conducting at
+          every point (the scalar semantics), or a mapping of gate name
+          to a boolean scalar / ``(n,)`` mask for per-point gating;
+        * ``degradation`` — component name to a scalar or ``(n,)``
+          multiplier.
+
+        The scalar solver stays the bit-exact reference: batched results
+        agree with a loop of :meth:`solve` calls within
+        :data:`ULP_BUDGET` ulps per component current.  If any batch
+        point is outside a component's operating envelope the component's
+        scalar :class:`~repro.errors.ElectricalError` is raised for the
+        lowest-index failing point of the first failing component in
+        walk order (a scalar loop would raise for the lowest failing
+        *point* instead; the error set is the same).
+        """
+        v = np.asarray(v_source, dtype=np.float64)
+        if v.ndim > 1:
+            raise ConfigurationError(
+                f"{self.spec.name}: v_source must be a scalar or a 1-D "
+                f"batch, got shape {v.shape}"
+            )
+        load_arrays: Dict[str, np.ndarray] = {}
+        shapes = [v.shape]
+        for channel, amps in loads.items():
+            if channel not in self._taps:
+                raise ConfigurationError(
+                    f"{self.spec.name}: load on untapped channel "
+                    f"{channel!r}"
+                )
+            arr = np.asarray(amps, dtype=np.float64)
+            if arr.ndim > 1:
+                raise ConfigurationError(
+                    f"{self.spec.name}: load {channel!r} must be a scalar "
+                    f"or a 1-D batch, got shape {arr.shape}"
+                )
+            load_arrays[channel] = arr
+            shapes.append(arr.shape)
+        if isinstance(open_gates, MappingABC):
+            for state in open_gates.values():
+                arr = np.asarray(state)
+                if arr.ndim == 1:
+                    shapes.append(arr.shape)
+        if degradation:
+            for factor in degradation.values():
+                arr = np.asarray(factor, dtype=np.float64)
+                if arr.ndim == 1:
+                    shapes.append(arr.shape)
+        try:
+            shape = np.broadcast_shapes(*shapes)
+        except ValueError:
+            raise ConfigurationError(
+                f"{self.spec.name}: batch inputs do not broadcast: "
+                f"{[tuple(s) for s in shapes]}"
+            ) from None
+        shape = shape if shape else (1,)
+        v = np.broadcast_to(v, shape)
+        for channel in list(load_arrays):
+            arr = np.broadcast_to(load_arrays[channel], shape)
+            bad = ~np.isfinite(arr) | (arr < 0.0)
+            if bad.any():
+                index = int(np.argmax(bad))
+                raise ConfigurationError(
+                    f"{self.spec.name}: load {channel!r} must be finite "
+                    f"and >= 0, got {float(arr[index])!r} at batch point "
+                    f"{index}"
+                )
+            load_arrays[channel] = arr
+        gates = self._normalize_gates(open_gates, shape)
+        factors = self._normalize_degradation(degradation, shape)
+        currents: Dict[str, np.ndarray] = {}
+        i_source = np.zeros(shape)
+        for child in self._child_names[self.spec.source.name]:
+            i_source = i_source + self._branch_batch(
+                child, v, load_arrays, gates, factors, currents, None
+            )
+        return GraphSolutionBatch(
+            v_source=v, i_source=i_source,
+            component_i_in=FrozenMapping._adopt(currents),
+        )
+
+    def _normalize_gates(self, open_gates, shape) -> Dict[str, object]:
+        """Gate name -> bool (uniform) or boolean ``(n,)`` mask."""
+        if not isinstance(open_gates, MappingABC):
+            return {gate: True for gate in open_gates}
+        gates: Dict[str, object] = {}
+        for gate, state in open_gates.items():
+            if gate not in self._gate_set:
+                raise ConfigurationError(
+                    f"{self.spec.name}: no gate group {gate!r}; gates: "
+                    f"{', '.join(self.spec.gate_names()) or '(none)'}"
+                )
+            arr = np.asarray(state)
+            if arr.ndim == 0:
+                gates[gate] = bool(arr)
+            else:
+                gates[gate] = np.broadcast_to(arr.astype(bool), shape)
+        return gates
+
+    def _normalize_degradation(self, degradation, shape) -> Dict[str, object]:
+        """Component name -> scalar factor or ``(n,)`` multiplier array."""
+        if not degradation:
+            return {}
+        self._check_degradation_keys(degradation)
+        factors: Dict[str, object] = {}
+        for name, factor in degradation.items():
+            arr = np.asarray(factor, dtype=np.float64)
+            if arr.ndim == 0:
+                factors[name] = float(arr)
+            else:
+                factors[name] = np.broadcast_to(arr, shape)
+        return factors
+
+    def _branch_batch(self, name, v_in, loads, gates, degradation,
+                      currents, active) -> np.ndarray:
+        gate, leak, (tag, arg) = self._plan[name]
+        mask = None
+        closed = False
+        if gate is not None:
+            state = gates.get(gate, False)
+            if state is False:
+                closed = True
+            elif state is not True:
+                mask = state
+        if closed:
+            i_in = np.full(v_in.shape, leak)
+        else:
+            child_active = active
+            if mask is not None:
+                child_active = mask if active is None else (active & mask)
+            if tag == self._TAP:
+                i_in = loads.get(arg)
+                if i_in is None:
+                    i_in = np.zeros(v_in.shape)
+            elif tag == self._DRAIN:
+                i_in = np.full(v_in.shape, arg)
+            elif tag == self._SWITCH:
+                i_in = self._child_sum_batch(name, v_in, loads, gates,
+                                             degradation, currents,
+                                             child_active)
+            else:
+                v_out, converter = arg
+                v_rail = np.broadcast_to(np.float64(v_out), v_in.shape)
+                i_load = self._child_sum_batch(name, v_rail, loads, gates,
+                                               degradation, currents,
+                                               child_active)
+                i_in = converter.solve_batch(v_in, i_load,
+                                             active=child_active)
+            if mask is not None:
+                i_in = np.where(mask, i_in, leak)
+        factor = degradation.get(name, 1.0)
+        if isinstance(factor, np.ndarray) or factor != 1.0:
+            i_in = i_in * factor
+        currents[name] = i_in
+        return i_in
+
+    def _child_sum_batch(self, name, v_rail, loads, gates, degradation,
+                         currents, active) -> np.ndarray:
+        i_load = np.zeros(v_rail.shape)
+        for child in self._child_names[name]:
+            i_load = i_load + self._branch_batch(
+                child, v_rail, loads, gates, degradation, currents, active
             )
         return i_load
 

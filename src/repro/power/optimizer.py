@@ -13,6 +13,8 @@ import dataclasses
 import math
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..errors import ConfigurationError, ElectricalError
 from .graph import RailGraph
 from .rail_topologies import RADIO_GATE, get_rail_spec, rail_topology_names
@@ -325,33 +327,45 @@ def compare_rail_topologies(
     Works straight on :class:`~repro.power.graph.RailGraph` — no node in
     the loop — so it answers the designer's question ("which topology
     wastes least standing by, which converts best under the burst?")
-    before any simulation.  Topologies with no operating point at
-    ``v_battery`` are skipped, matching
+    before any simulation.  Both operating points go through one
+    :meth:`~repro.power.graph.RailGraph.solve_batch` call per topology,
+    with the radio gate opened only at the TX point.  Topologies with no
+    operating point at ``v_battery`` are skipped, matching
     :func:`compare_step_up_topologies`.
     """
     sleep_loads = dict(SLEEP_POINT_LOADS if sleep_loads is None else sleep_loads)
     tx_loads = dict(TX_POINT_LOADS if tx_loads is None else tx_loads)
+    channels = list(dict.fromkeys([*sleep_loads, *tx_loads]))
+    point_loads = {
+        channel: np.array(
+            [sleep_loads.get(channel, 0.0), tx_loads.get(channel, 0.0)]
+        )
+        for channel in channels
+    }
+    radio_mask = np.array([False, True])
     rows = []
     for kind in (rail_topology_names() if kinds is None else kinds):
         spec = get_rail_spec(kind)
         graph = RailGraph(spec)
         try:
-            sleep = graph.solve(v_battery, sleep_loads)
-            tx = graph.solve(v_battery, tx_loads, open_gates=frozenset({RADIO_GATE}))
+            batch = graph.solve_batch(
+                v_battery, point_loads, open_gates={RADIO_GATE: radio_mask}
+            )
         except ElectricalError:
             continue
         delivered = 0.0
         for channel, amps in tx_loads.items():
             delivered += graph.tap_voltage(channel) * amps
+        tx_p_battery = float(batch.p_source[1])
         rows.append(
             RailTopologyReport(
                 kind=kind,
                 description=spec.description,
                 component_count=len(spec.components),
-                sleep_i_battery=sleep.i_source,
-                sleep_p_battery=sleep.p_source,
-                tx_p_battery=tx.p_source,
-                tx_efficiency=delivered / tx.p_source,
+                sleep_i_battery=float(batch.i_source[0]),
+                sleep_p_battery=float(batch.p_source[0]),
+                tx_p_battery=tx_p_battery,
+                tx_efficiency=delivered / tx_p_battery,
             )
         )
     return rows

@@ -104,7 +104,8 @@ class MemoCache:
             self._misses = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     @property
     def stats(self) -> CacheStats:

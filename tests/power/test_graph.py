@@ -4,6 +4,7 @@ gating, drains, per-component degradation."""
 import dataclasses
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import ConfigurationError
 from repro.power.graph import (
@@ -159,6 +160,75 @@ def test_registered_specs_round_trip_through_dict(kind):
     original = RailGraph(spec).solve(1.25, {"mcu": 1e-6})
     rebuilt = RailGraph(clone).solve(1.25, {"mcu": 1e-6})
     assert rebuilt.i_source.hex() == original.i_source.hex()
+
+
+@pytest.mark.parametrize("kind", sorted(rail_topology_names()))
+def test_registered_specs_round_trip_through_json_text(kind):
+    """The dict form must survive an actual JSON encode/decode cycle."""
+    import json
+
+    spec = get_rail_spec(kind)
+    clone = RailGraphSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert clone == spec
+    assert clone.gate_names() == spec.gate_names()
+    for original, rebuilt in zip(spec.components, clone.components):
+        assert type(rebuilt) is type(original)
+        if hasattr(original, "i_leak_off"):
+            assert rebuilt.i_leak_off == original.i_leak_off
+            assert rebuilt.gate == original.gate
+        if isinstance(original, DrainSpec):
+            assert rebuilt.contributions == original.contributions
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    gate=st.sampled_from([None, "radio", "aux"]),
+    i_leak_off=st.floats(min_value=0.0, max_value=1e-6,
+                         allow_nan=False, allow_infinity=False),
+    v_out=st.floats(min_value=1.9, max_value=3.0,
+                    allow_nan=False, allow_infinity=False),
+    contributions=st.lists(
+        st.tuples(
+            st.sampled_from(["pad", "ref", "bandgap", "rtc"]),
+            st.floats(min_value=0.0, max_value=1e-6,
+                      allow_nan=False, allow_infinity=False),
+        ),
+        max_size=4,
+    ),
+)
+def test_spec_json_round_trip_property(gate, i_leak_off, v_out,
+                                       contributions):
+    """Any valid spec — gates, off-leaks, ordered drain contributions —
+    must round-trip bit-exactly through ``json.dumps(to_dict())``."""
+    import json
+
+    spec = RailGraphSpec(
+        name="prop-train",
+        description="hypothesis round-trip",
+        components=(
+            SourceSpec(name="battery"),
+            DrainSpec(name="standing", parent="battery",
+                      contributions=tuple(contributions)),
+            ChargePumpSpec(name="pump", parent="battery", v_out=v_out,
+                           gate=gate, i_leak_off=i_leak_off),
+            SwitchSpec(name="sw", parent="pump", gate=gate,
+                       i_leak_off=i_leak_off),
+            LoadTapSpec(name="mcu-tap", parent="pump", channel="mcu",
+                        v_rail=v_out),
+            LoadTapSpec(name="sensor-tap", parent="pump",
+                        channel="sensor", v_rail=v_out),
+            LoadTapSpec(name="rd-tap", parent="sw",
+                        channel="radio-digital", v_rail=v_out),
+            LoadTapSpec(name="rf-tap", parent="sw", channel="radio-rf",
+                        v_rail=v_out),
+        ),
+    )
+    clone = RailGraphSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert clone == spec
+    assert clone.components[1].contributions == tuple(contributions)
+    assert [c.name for c in clone.components] == [
+        c.name for c in spec.components
+    ]
 
 
 def test_component_round_trip_preserves_nested_tuples():

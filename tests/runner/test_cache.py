@@ -92,6 +92,39 @@ def test_thread_safety_under_contention():
     assert len(cache) <= 16
 
 
+def test_len_takes_the_lock():
+    """``len(cache)`` must synchronize with writers, not race them.
+
+    Regression test: ``__len__`` used to read ``self._data`` without the
+    cache lock.  Holding the lock from another thread must therefore
+    block ``len`` until released — if ``len`` skipped the lock it would
+    return immediately.
+    """
+    cache = MemoCache()
+    cache.put("k", 1)
+    acquired = threading.Event()
+    release = threading.Event()
+
+    def holder():
+        with cache._lock:
+            acquired.set()
+            release.wait(timeout=5.0)
+
+    thread = threading.Thread(target=holder)
+    thread.start()
+    assert acquired.wait(timeout=5.0)
+    # The lock is held: a locked __len__ cannot have finished yet.
+    sizes = []
+    reader = threading.Thread(target=lambda: sizes.append(len(cache)))
+    reader.start()
+    reader.join(timeout=0.2)
+    assert reader.is_alive(), "__len__ returned while the lock was held"
+    release.set()
+    reader.join(timeout=5.0)
+    thread.join(timeout=5.0)
+    assert sizes == [1]
+
+
 def test_memoize_decorator():
     calls = []
 
