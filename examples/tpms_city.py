@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""A city block of TPMS fleets: 100,000 PicoCubes on one OOK channel.
+
+The paper's §1 vision is sensors "embedded in everyday materials and
+surfaces often in very dense collaborative networks" — at city scale
+that is every parked car's four wheels beaconing uncoordinated on the
+shared 1.863 GHz channel.  Stepping 100k nodes individually through the
+discrete-event engine would take hours; the cohort engine
+(``repro.sim.fleet_engine``) advances them as one struct-of-arrays batch
+with bit-identical results, so a minute of city-wide channel traffic
+takes seconds of wall clock.
+"""
+
+import time
+
+from repro.net.fleet import aloha_prediction
+from repro.sim.fleet_engine import FleetScenario, run_fleet
+
+NODE_COUNT = 100_000
+DURATION_S = 60.0  # ten beacon periods
+BURST_S = 3.2e-4
+
+
+def main() -> None:
+    print("=" * 72)
+    print(f"City-scale TPMS: {NODE_COUNT:,} nodes, {DURATION_S:.0f} s "
+          f"of channel time")
+    print("=" * 72)
+
+    scenario = FleetScenario(
+        node_count=NODE_COUNT,
+        duration_s=DURATION_S,
+        phase_seed=2008,  # every car powered up at a random moment
+    )
+    started = time.perf_counter()
+    run = run_fleet(scenario, engine="cohort")
+    elapsed = time.perf_counter() - started
+
+    stats = run.stats
+    rate = NODE_COUNT * (DURATION_S / 6.0) / elapsed
+    print(f"\nengine: {run.engine_used} "
+          f"({elapsed:.1f} s wall, {rate:,.0f} node-cycles/s)")
+    print(f"transmitted {stats.transmitted:,} beacons; "
+          f"{stats.collided:,} collided "
+          f"({stats.collision_rate:.1%} — pure-ALOHA model predicts "
+          f"{1.0 - aloha_prediction(NODE_COUNT, BURST_S):.1%})")
+    print(f"delivered {stats.delivered:,}")
+
+    # Per-node energy accounting still works at this scale: audits are
+    # materialized lazily, per node, straight from the cohort arrays.
+    audit = run.audit(0)
+    print(f"\nnode 0: {run.packets_sent(0)} packets, "
+          f"{audit.average_power_w * 1e6:.2f} uW average, "
+          f"final charge {run.battery_charge(0):.3f} C")
+
+    charges = [run.battery_charge(k) for k in range(0, NODE_COUNT, 10_000)]
+    print(f"charge spread across 10 spot-checked nodes: "
+          f"{min(charges):.3f}..{max(charges):.3f} C")
+
+
+if __name__ == "__main__":
+    main()

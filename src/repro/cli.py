@@ -254,6 +254,46 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from time import perf_counter
+
+    from .sim.fleet_engine import FleetScenario, run_fleet
+
+    scenario = FleetScenario(
+        node_count=args.nodes,
+        duration_s=args.duration,
+        stagger_s=args.stagger,
+        phase_seed=args.phase_seed,
+        power_train=args.train,
+        line_code=args.line_code,
+    )
+    engines = ("per-node", "cohort") if args.compare else (args.engine,)
+    reference = None
+    for engine in engines:
+        started = perf_counter()
+        run = run_fleet(scenario, engine=engine,
+                        cohort_size=args.cohort_size)
+        elapsed = perf_counter() - started
+        stats = run.stats
+        print(f"{engine:>9}: {args.nodes} nodes x {args.duration:.0f} s "
+              f"in {elapsed:.2f} s wall — transmitted {stats.transmitted}, "
+              f"collided {stats.collided} "
+              f"(rate {stats.collision_rate:.3f}), "
+              f"delivered {stats.delivered}")
+        if run.engine_used != engine:
+            print(f"           fell back to {run.engine_used}: "
+                  f"{run.fallback_reason}")
+        if reference is None:
+            reference = run
+        elif args.compare:
+            same = (reference.stats == run.stats
+                    and reference.records == run.records)
+            print(f"           bit-identical to {engines[0]}: {same}")
+            if not same:
+                return 1
+    return 0
+
+
 def _perf_scenario_audit(hours: float) -> None:
     from .core import audit_node, build_tpms_node
 
@@ -456,6 +496,31 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=2008)
     chaos.add_argument("--workers", type=int, default=None)
     chaos.set_defaults(handler=_cmd_chaos)
+
+    fleet = sub.add_parser(
+        "fleet", help="simulate a TPMS fleet (cohort or per-node engine)"
+    )
+    fleet.add_argument("--nodes", type=int, default=1000,
+                       help="fleet size (default: 1000)")
+    fleet.add_argument("--duration", type=float, default=600.0,
+                       help="simulated seconds (default: 600)")
+    fleet.add_argument("--engine", choices=("cohort", "per-node"),
+                       default="cohort")
+    fleet.add_argument("--cohort-size", type=int, default=None,
+                       help="nodes per cohort (default: whole fleet)")
+    fleet.add_argument("--stagger", type=float, default=None,
+                       help="wake stagger, seconds (default: spread one "
+                            "beacon period across the fleet)")
+    fleet.add_argument("--phase-seed", type=int, default=None,
+                       help="draw random wake phases from this seed "
+                            "instead of staggering")
+    fleet.add_argument("--train", default="cots",
+                       help="power-train topology (default: cots)")
+    fleet.add_argument("--line-code", choices=("nrz", "manchester"),
+                       default="nrz")
+    fleet.add_argument("--compare", action="store_true",
+                       help="run both engines and check bit-identity")
+    fleet.set_defaults(handler=_cmd_fleet)
 
     perf = sub.add_parser(
         "perf", help="cProfile a scenario (wall-clock, not power)"

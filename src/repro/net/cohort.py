@@ -1,0 +1,758 @@
+"""Cohort-vectorized fleet advance: many identical nodes, one numpy chain.
+
+A dense fleet (the §1 "very dense collaborative networks" vision) is
+thousands of PicoCubes that differ only in wake phase, on-air id, and
+per-cell degradation.  Stepping each one through the discrete-event
+engine repeats the same ~14 ms sample/format/transmit cycle arithmetic N
+times per beacon period.  This module batches nodes sharing a
+``(topology, config)`` signature into a *cohort*: battery charge, battery
+current, sync times, and degradation multipliers become ``(n,)`` numpy
+arrays advanced in lockstep, and every power-train evaluation goes
+through :meth:`~repro.core.power_train.GraphPowerTrain.solve_graph_batch`
+— one batch solve per cohort step instead of N scalar solves.
+
+Bit-exactness contract
+----------------------
+
+The cohort chain mirrors the scalar :class:`~repro.core.node.PicoCube`
+event path operation for operation: every float add/multiply/divide the
+node performs per cycle is replayed elementwise in float64 over the lane
+axis, in the same order, so results are **bit-identical** to per-node
+stepping — not merely close.  The contract is self-enforcing: each
+cohort runs one real *probe* node event-by-event on a private engine and
+compares the chain's lane-0 charge, battery current, cycle timings,
+packet frames, and full recorder traces bitwise against it.  Any
+mismatch — or any scenario feature the chain does not model (attached
+chargers, brownout risk, non-TPMS firmware, ``profile`` RF fidelity) —
+raises :class:`CohortFallback`, and the caller reruns the whole scenario
+on the exact per-node path instead.  See ``docs/FLEET.md``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.energy_audit import EnergyAudit, audit_node
+from ..core.node import PicoCube
+from ..errors import ConfigurationError, ElectricalError, SimulationError
+from ..mcu import Mode
+from ..sim.recorder import PowerRecorder
+from ..units import DAY
+from .fleet import AirTimeRecord, FleetChannel, fleet_node_config, phase_node
+from .packet import crc8
+
+__all__ = [
+    "CohortFallback",
+    "CohortRun",
+    "CohortSpec",
+    "advance_cohort",
+]
+
+
+class CohortFallback(SimulationError):
+    """The cohort fast path cannot reproduce this scenario bit-exactly.
+
+    Raised when a cohort meets something the vectorized chain does not
+    model (chargers, brownout risk, probe/chain divergence, ...).  The
+    fleet engine catches it and reruns the scenario per-node — slower,
+    never wrong.
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class CohortSpec:
+    """One batch of fleet nodes sharing a (topology, config) signature.
+
+    ``node_indices`` are global 0-based fleet slots (they set each
+    node's on-air id and the logical id on its air-time records);
+    ``offsets`` are the wake phases :func:`repro.net.fleet.fleet_offsets`
+    produced for those slots.  The optional per-lane multiplier tuples
+    mirror the post-construction fault knobs of the scalar node
+    (``battery.set_esr_multiplier``, ``set_self_discharge_multiplier``,
+    ``train.set_degradation``) and default to healthy (all ``1.0``).
+    """
+
+    node_indices: Tuple[int, ...]
+    offsets: Tuple[float, ...]
+    duration_s: float
+    power_train: str = "cots"
+    line_code: str = "nrz"
+    esr_multipliers: Optional[Tuple[float, ...]] = None
+    self_discharge_multipliers: Optional[Tuple[float, ...]] = None
+    loss_factors: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.node_indices:
+            raise ConfigurationError("cohort needs at least one node")
+        if len(self.offsets) != len(self.node_indices):
+            raise ConfigurationError("need one wake offset per cohort node")
+        if self.duration_s <= 0.0:
+            raise ConfigurationError("cohort duration must be positive")
+        for name in ("esr_multipliers", "self_discharge_multipliers",
+                     "loss_factors"):
+            values = getattr(self, name)
+            if values is not None and len(values) != len(self.node_indices):
+                raise ConfigurationError(
+                    f"{name} must have one entry per cohort node"
+                )
+
+    @property
+    def node_count(self) -> int:
+        """Number of lanes in the cohort."""
+        return len(self.node_indices)
+
+    def lane_multipliers(self, name: str) -> np.ndarray:
+        """Per-lane multiplier array for one degradation knob (1.0 = healthy)."""
+        values = getattr(self, name)
+        if values is None:
+            return np.ones(self.node_count)
+        return np.array(values, dtype=float)
+
+
+@dataclasses.dataclass
+class CohortRun:
+    """Result of advancing one cohort: channel records plus final state.
+
+    ``charge``/``i_battery``/``cycle_starts``/``packets`` are ``(n,)``
+    arrays over the cohort's lanes; :meth:`audit` lazily materializes a
+    per-node :class:`~repro.core.energy_audit.EnergyAudit` by re-running
+    the (width-independent) chain for that single lane and replaying its
+    recorder stream through the real audit code.
+    """
+
+    spec: CohortSpec
+    records: List[AirTimeRecord]
+    charge: np.ndarray
+    i_battery: np.ndarray
+    cycle_starts: np.ndarray
+    packets: np.ndarray
+    _machine: "_CohortMachine" = dataclasses.field(repr=False)
+    _audits: Dict[int, EnergyAudit] = dataclasses.field(
+        default_factory=dict, repr=False
+    )
+
+    @property
+    def node_count(self) -> int:
+        """Number of lanes in the cohort."""
+        return self.spec.node_count
+
+    def audit(self, position: int) -> EnergyAudit:
+        """Energy audit for the lane at ``position`` (0-based, cached)."""
+        if not 0 <= position < self.node_count:
+            raise ConfigurationError(
+                f"lane {position} outside cohort of {self.node_count}"
+            )
+        if position not in self._audits:
+            self._audits[position] = self._machine.audit_lane(position)
+        return self._audits[position]
+
+
+def advance_cohort(spec: CohortSpec) -> CohortRun:
+    """Advance a cohort on the vectorized fast path, probe-verified.
+
+    Builds the cycle template from one real probe node, advances every
+    lane through the numpy mirror of the scalar event chain, then runs
+    the probe event-by-event and compares it bitwise against the
+    chain's first lane (state, timings, packet frames, and the full
+    recorder trace).  Raises :class:`CohortFallback` if the scenario is
+    ineligible or any comparison fails; the result is then obtained by
+    per-node stepping instead.
+    """
+    machine = _CohortMachine(spec)
+    machine.run_probe()
+    full = machine.advance(np.arange(spec.node_count))
+    machine.verify(full)
+    return CohortRun(
+        spec=spec,
+        records=machine.build_records(full),
+        charge=full.charge,
+        i_battery=full.i_battery,
+        cycle_starts=full.starts,
+        packets=full.packets,
+        _machine=machine,
+    )
+
+
+# -- internals ---------------------------------------------------------------
+
+
+RECORD_CHANNELS = ("mcu", "sensor", "radio-digital", "radio-rf",
+                   "power-management")
+"""Recorder channels in the exact order the scalar node writes them."""
+
+
+class _Clock:
+    """Minimal engine stand-in (just ``now``) for replaying recorders."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+
+@dataclasses.dataclass
+class _AuditView:
+    """Duck-typed node facade feeding a replayed recorder to audit_node."""
+
+    engine: _Clock
+    recorder: PowerRecorder
+    cycles_completed: int
+    brownout_events: list
+    resets: int
+
+
+@dataclasses.dataclass(frozen=True)
+class _Update:
+    """One electrical re-solve inside the cycle (a ``_set_*`` call)."""
+
+    i_mcu: float
+    i_sensor: float
+    i_radio_digital: float
+    i_radio_rf: float
+    radio_gate: bool
+    rf_payload: bool = False  # radio-rf current is the per-lane OOK average
+
+
+@dataclasses.dataclass(frozen=True)
+class _Step:
+    """One generator resumption: a delay, then zero or more updates."""
+
+    delay: Optional[float]  # None for the wake instant itself
+    updates: Tuple[_Update, ...]
+    commits_packet: bool = False
+
+
+@dataclasses.dataclass
+class _ChainState:
+    """Final per-lane state of one chain run."""
+
+    charge: np.ndarray
+    i_battery: np.ndarray
+    starts: np.ndarray
+    packets: np.ndarray
+    stream: Optional[List[Tuple[float, List[Tuple[str, float]]]]]
+
+
+def _scalar_pow(base: float, exponents: np.ndarray) -> np.ndarray:
+    """``base ** x`` elementwise using CPython's float pow.
+
+    The scalar battery computes self-discharge decay with Python's
+    ``**``; numpy's vectorized ``power`` may route through a different
+    libm and drift by an ulp.  Exponents repeat heavily across lanes
+    (same dt, few distinct accelerations), so one Python pow per unique
+    exponent keeps the mirror bit-exact at vector cost.
+    """
+    unique, inverse = np.unique(exponents, return_inverse=True)
+    values = np.array([base ** float(x) for x in unique])
+    return values[inverse].reshape(exponents.shape)
+
+
+def _same_float(a: float, b: float) -> bool:
+    """Bitwise float equality (hex compare: distinguishes -0.0, NaN)."""
+    return float(a).hex() == float(b).hex()
+
+
+class _CohortMachine:
+    """Template extraction + vectorized advance for one cohort."""
+
+    def __init__(self, spec: CohortSpec) -> None:
+        self.spec = spec
+        n = spec.node_count
+        probe = PicoCube(fleet_node_config(
+            spec.node_indices[0], spec.power_train, spec.line_code
+        ))
+        self.probe = probe
+        self._check_eligibility(probe)
+        # -- state shared by every lane at t=0 (the constructor's solve
+        # runs before any degradation knob can be touched, so it is
+        # identical across the cohort; copy it straight off the probe).
+        self.charge0 = probe.battery.charge
+        self.i_battery0 = probe._i_battery
+        self.init_rows = [
+            (name, trace.current)
+            for name, trace in probe.recorder._channels.items()
+        ]
+        # -- component constants (same objects the scalar path queries).
+        self.period = probe.sensor.wake_period_s
+        self.end = probe.engine.now + spec.duration_s
+        rail = probe.train.mcu_rail_voltage()
+        ambient = probe.ambient_c()
+        i_active = probe.mcu.current(rail, Mode.ACTIVE, temperature_c=ambient)
+        i_lpm0 = probe.mcu.current(rail, Mode.LPM0, temperature_c=ambient)
+        i_lpm3 = probe.mcu.current(rail, Mode.LPM3, temperature_c=ambient)
+        if not _same_float(i_lpm3, probe._i_mcu):
+            raise CohortFallback("probe sleep current disagrees with template")
+        i_sleep = probe.sensor.i_sleep
+        i_measure = probe.sensor.i_measure
+        i_dig = probe.tx.i_digital
+        i_rf_on = probe.tx.i_rf_on
+        self.tap = {
+            channel: probe.train.graph.tap_voltage(channel)
+            for channel in ("mcu", "sensor", "radio-digital", "radio-rf")
+        }
+        # -- battery model constants.
+        battery = probe.battery
+        self.capacity = battery.capacity_coulombs
+        self.r_mid = battery.r_internal_mid
+        curve = battery.ocv_curve
+        self.soc_lo = np.array([s for s, _ in curve[:-1]])
+        self.soc_hi = np.array([s for s, _ in curve[1:]])
+        self.v_lo = np.array([v for _, v in curve[:-1]])
+        self.v_hi = np.array([v for _, v in curve[1:]])
+        self.cold_factor = (
+            1.0 + 0.02 * (25.0 - battery.temperature_c)
+            if battery.temperature_c < 25.0 else None
+        )
+        self.sd_base = 1.0 - battery.self_discharge_per_month
+        self.month = 30.0 * DAY
+        accel_base = battery._self_discharge_acceleration()
+        # -- per-lane degradation (post-construction contract: applied
+        # after the t=0 solve, exactly like the scalar fault knobs).
+        self.accel = accel_base * spec.lane_multipliers(
+            "self_discharge_multipliers"
+        )
+        self.esr = spec.lane_multipliers("esr_multipliers")
+        self.loss = spec.lane_multipliers("loss_factors")
+        # -- cycle timing template (each value is one scalar yield).
+        path = lambda name: probe.firmware.path(name).duration(probe.mcu)
+        sample_packet = probe._encode(
+            probe.sensor.read(probe.environment, probe.engine.now)
+        )
+        self.n_frame_bits = sample_packet.bit_count
+        n_air_bits = len(probe._line_code_bits(sample_packet))
+        self.n_air_bits = n_air_bits
+        delays = (
+            probe.mcu.wakeup_time_s + path("wake"),
+            path("sensor-config"),
+            probe.sensor.sample_duration(),
+            path("sample-read"),
+            path("format-packet"),
+            path("radio-setup") + probe.spi.transfer_time(16),
+            probe.config.pa_sequencing_delay_s,
+            probe.tx.startup_time(),
+            probe.modulator.duration(n_air_bits),
+            path("transmit-supervise") + path("sleep-entry"),
+        )
+        if sum(delays) >= self.period:
+            raise CohortFallback("sample cycle does not fit the wake period")
+        u = _Update
+        self.steps: Tuple[_Step, ...] = (
+            _Step(None, (u(i_active, i_sleep, 0.0, 0.0, False),)),
+            _Step(delays[0], ()),
+            _Step(delays[1], (u(i_active, i_measure, 0.0, 0.0, False),
+                              u(i_lpm0, i_measure, 0.0, 0.0, False))),
+            _Step(delays[2], (u(i_lpm0, i_sleep, 0.0, 0.0, False),
+                              u(i_active, i_sleep, 0.0, 0.0, False))),
+            _Step(delays[3], ()),
+            _Step(delays[4], (u(i_active, i_sleep, i_dig, 0.0, True),)),
+            _Step(delays[5], ()),
+            _Step(delays[6], (u(i_active, i_sleep, i_dig, i_rf_on, True),)),
+            _Step(delays[7], (u(i_active, i_sleep, i_dig, 0.0, True,
+                                rf_payload=True),)),
+            _Step(delays[8], (u(i_active, i_sleep, i_dig, 0.0, True),
+                              u(i_active, i_sleep, 0.0, 0.0, True))),
+            _Step(delays[9], (u(i_lpm3, i_sleep, 0.0, 0.0, False),),
+                  commits_packet=True),
+        )
+        # -- per-lane wake epochs: phase_node arms the timer with
+        # first_delay = period + offset at now = 0, so the k-th wake
+        # lands at exactly epoch + k * period.
+        offsets = np.array(spec.offsets, dtype=float)
+        self.epochs = probe.engine.now + (self.period + offsets)
+        self.nids = np.array(
+            [(k + 1) % 256 for k in spec.node_indices], dtype=np.int64
+        )
+        self._popcount = np.array(
+            [bin(value).count("1") for value in range(256)], dtype=np.int64
+        )
+        self._crc_table = np.array(
+            [crc8(bytes([value])) for value in range(256)], dtype=np.int64
+        )
+        # Payload variants are captured from the probe run (run_probe).
+        self._variants: List[bytes] = []
+        self._variant_const_ones: List[int] = []
+        # Arm the probe exactly like FleetChannel arms fleet members.
+        probe.battery.set_esr_multiplier(float(self.esr[0]))
+        probe.battery.set_self_discharge_multiplier(
+            float(spec.lane_multipliers("self_discharge_multipliers")[0])
+        )
+        probe.train.set_degradation(float(self.loss[0]))
+        phase_node(probe, float(offsets[0]), period=self.period)
+
+    @staticmethod
+    def _check_eligibility(probe: PicoCube) -> None:
+        config = probe.config
+        if config.sensor_kind != "tpms":
+            raise CohortFallback("cohort chain models TPMS firmware only")
+        if config.fidelity != "fast":
+            raise CohortFallback("profile RF fidelity needs per-node stepping")
+        if config.fast_forward or config.brownout_recovery:
+            raise CohortFallback("node accelerator/recovery options unsupported")
+        if not hasattr(probe.train, "solve_graph_batch"):
+            raise CohortFallback("power train has no batch solver")
+
+    # -- probe -------------------------------------------------------------
+
+    def run_probe(self) -> None:
+        """Run the probe node event-by-event and extract packet variants."""
+        probe = self.probe
+        probe.engine.run_until(self.end)
+        probe._sync_battery()
+        if probe.browned_out or probe.brownout_events:
+            raise CohortFallback("probe browned out; fleet is at brownout risk")
+        if probe.resets or probe.packets_corrupted:
+            raise CohortFallback("probe saw resets or corrupted packets")
+        if len(probe.packets_sent) < 2:
+            raise CohortFallback(
+                "need at least two probe cycles to template the payload"
+            )
+        # Cycle 0 reports the sensor's cold supply word; every later
+        # cycle reports the measured rail.  Two variants cover the run.
+        for packet in probe.packets_sent[:2]:
+            frame = packet.to_bytes()
+            body = packet.body()
+            crc = 0
+            for byte in body:
+                crc = int(self._crc_table[crc ^ byte])
+            if crc != frame[-1]:
+                raise CohortFallback("CRC table chain disagrees with crc8")
+            const = sum(
+                int(self._popcount[byte])
+                for index, byte in enumerate(frame)
+                if index not in (3, 5, len(frame) - 1)
+            )
+            ones = (
+                const
+                + int(self._popcount[frame[3]])
+                + int(self._popcount[frame[5]])
+                + int(self._popcount[frame[-1]])
+            )
+            if ones != sum(packet.to_bits()):
+                raise CohortFallback("ones-count model disagrees with frame")
+            self._variants.append(bytes(body))
+            self._variant_const_ones.append(const)
+        for cycle, packet in enumerate(probe.packets_sent):
+            if packet.to_bytes() != self._lane_frame(0, cycle):
+                raise CohortFallback(
+                    f"probe packet {cycle} deviates from the cycle template"
+                )
+
+    def _variant_for(self, cycle: int) -> int:
+        return 0 if cycle == 0 else 1
+
+    def _lane_frame(self, position: int, cycle: int) -> bytes:
+        """Reconstruct the exact frame lane ``position`` sends on ``cycle``."""
+        body = bytearray(self._variants[self._variant_for(cycle)])
+        body[0] = int(self.nids[position])
+        body[2] = cycle & 0xFF
+        crc = 0
+        for byte in body:
+            crc = int(self._crc_table[crc ^ byte])
+        return bytes([0xAA, 0xAA, 0x7E]) + bytes(body) + bytes([crc])
+
+    def _payload_rf_current(
+        self, nids: np.ndarray, cycle: int
+    ) -> np.ndarray:
+        """Per-lane OOK average RF current for the payload segment.
+
+        Mirrors ``tx.p_dc_on * ones_fraction(bits) / tx.v_rf_rail`` with
+        the mark density computed analytically: the frame differs across
+        lanes only in the id byte and the CRC it drags along, so the
+        ones count is a popcount chain over those bytes.
+        """
+        variant = self._variant_for(cycle)
+        body = self._variants[variant]
+        seq = cycle & 0xFF
+        crc = self._crc_table[nids]
+        for byte in body[1:2]:  # kind
+            crc = self._crc_table[crc ^ byte]
+        crc = self._crc_table[crc ^ seq]
+        for byte in body[3:]:  # length + payload words
+            crc = self._crc_table[crc ^ byte]
+        ones = (
+            self._variant_const_ones[variant]
+            + self._popcount[nids]
+            + int(self._popcount[seq])
+            + self._popcount[crc]
+        )
+        if self.spec.line_code == "manchester":
+            # Manchester emits exactly one mark chip per frame bit.
+            fraction = self.n_frame_bits / self.n_air_bits
+            fraction = np.full(nids.shape, fraction)
+        else:
+            fraction = ones / self.n_air_bits
+        tx = self.probe.tx
+        return tx.p_dc_on * fraction / tx.v_rf_rail
+
+    # -- battery mirror ----------------------------------------------------
+
+    def _ocv_and_resistance(
+        self, charge: np.ndarray, esr: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Elementwise NiMH OCV + ESR, op-for-op with the scalar cell."""
+        soc = charge / self.capacity
+        index = np.minimum(
+            np.searchsorted(self.soc_hi, soc, side="left"),
+            len(self.soc_hi) - 1,
+        )
+        s0 = self.soc_lo[index]
+        s1 = self.soc_hi[index]
+        v0 = self.v_lo[index]
+        v1 = self.v_hi[index]
+        frac = (soc - s0) / (s1 - s0)
+        ocv = v0 + frac * (v1 - v0)
+        resistance = np.where(
+            soc < 0.2,
+            self.r_mid * (1.0 + 4.0 * (0.2 - soc) / 0.2),
+            self.r_mid,
+        )
+        if self.cold_factor is not None:
+            resistance = resistance * self.cold_factor
+        resistance = resistance * esr
+        return ocv, resistance
+
+    def _sync(
+        self,
+        charge: np.ndarray,
+        i_battery: np.ndarray,
+        last_sync: np.ndarray,
+        t,
+        mask: np.ndarray,
+        accel: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Mirror of ``PicoCube._sync_battery`` over the lane axis."""
+        dt = t - last_sync
+        positive = mask & (dt > 0.0)
+        if positive.any():
+            needed = i_battery * dt
+            risk = positive & (needed >= charge) & (i_battery > 0.0)
+            if risk.any():
+                raise CohortFallback(
+                    "a lane would brown out; falling back to per-node stepping"
+                )
+            after = np.maximum(charge - needed, 0.0)
+            keep = _scalar_pow(self.sd_base, (dt * accel) / self.month)
+            after = after - after * (1.0 - keep)
+            charge = np.where(positive, after, charge)
+        last_sync = np.where(mask, t, last_sync)
+        return charge, last_sync
+
+    # -- the chain ---------------------------------------------------------
+
+    def advance(
+        self, lanes: np.ndarray, capture: bool = False
+    ) -> _ChainState:
+        """Advance a lane subset through the whole run.
+
+        Every operation is elementwise over the lane axis, so results
+        are independent of the subset width — the property that lets
+        one verified probe lane vouch for the full cohort, and lets
+        :meth:`audit_lane` re-run a single lane bit-identically.
+        """
+        lanes = np.asarray(lanes)
+        if capture and lanes.size != 1:
+            raise ConfigurationError("record capture needs a single lane")
+        n = lanes.size
+        train = self.probe.train
+        charge = np.full(n, self.charge0)
+        i_battery = np.full(n, self.i_battery0)
+        last_sync = np.zeros(n)
+        starts = np.zeros(n, dtype=np.int64)
+        packets = np.zeros(n, dtype=np.int64)
+        epochs = self.epochs[lanes]
+        accel = self.accel[lanes]
+        esr = self.esr[lanes]
+        loss = self.loss[lanes]
+        nids = self.nids[lanes]
+        stream: Optional[List[Tuple[float, List[Tuple[str, float]]]]] = None
+        if capture:
+            stream = [(0.0, list(self.init_rows))]
+        end = self.end
+        if train.radio_enabled:
+            train.disable_radio()
+        try:
+            cycle = 0
+            while True:
+                t = epochs + (cycle * self.period)
+                if not (t <= end).any():
+                    break
+                starts = starts + (t <= end)
+                for step in self.steps:
+                    if step.delay is not None:
+                        t = t + step.delay
+                    mask = t <= end
+                    if step.updates and mask.any():
+                        charge, last_sync = self._sync(
+                            charge, i_battery, last_sync, t, mask, accel
+                        )
+                        for update in step.updates:
+                            if update.radio_gate != train.radio_enabled:
+                                if update.radio_gate:
+                                    train.enable_radio()
+                                else:
+                                    train.disable_radio()
+                            i_new, rows = self._solve_update(
+                                train, update, charge, i_battery, esr, loss,
+                                nids, cycle, capture,
+                            )
+                            i_battery = np.where(mask, i_new, i_battery)
+                            if capture and bool(mask[0]):
+                                stream.append((float(t[0]), rows))
+                    if step.commits_packet:
+                        packets = packets + mask
+                cycle += 1
+            # FleetChannel.run syncs every node once more at the horizon.
+            ones = np.ones(n, dtype=bool)
+            charge, last_sync = self._sync(
+                charge, i_battery, last_sync, end, ones, accel
+            )
+        finally:
+            if train.radio_enabled:
+                train.disable_radio()
+        return _ChainState(charge, i_battery, starts, packets, stream)
+
+    def _solve_update(
+        self,
+        train,
+        update: _Update,
+        charge: np.ndarray,
+        i_battery: np.ndarray,
+        esr: np.ndarray,
+        loss: np.ndarray,
+        nids: np.ndarray,
+        cycle: int,
+        capture: bool,
+    ) -> Tuple[np.ndarray, List[Tuple[str, float]]]:
+        """Mirror of ``PicoCube._update``: two chained batch solves."""
+        i_rf = (
+            self._payload_rf_current(nids, cycle)
+            if update.rf_payload else update.i_radio_rf
+        )
+        loads = {
+            "mcu": update.i_mcu,
+            "sensor": update.i_sensor,
+            "radio-digital": update.i_radio_digital,
+            "radio-rf": i_rf,
+        }
+        ocv, resistance = self._ocv_and_resistance(charge, esr)
+        try:
+            v1 = ocv - i_battery * resistance
+            first = train.solve_graph_batch(v1, loads)
+            i1 = first.i_source * loss
+            v2 = ocv - i1 * resistance
+            second = train.solve_graph_batch(v2, loads)
+        except ElectricalError as exc:
+            raise CohortFallback(f"batch solve left the envelope: {exc}")
+        i2 = second.i_source * loss
+        rows: List[Tuple[str, float]] = []
+        if capture:
+            p_mcu = self.tap["mcu"] * update.i_mcu
+            p_sensor = self.tap["sensor"] * update.i_sensor
+            p_digital = self.tap["radio-digital"] * update.i_radio_digital
+            p_rf = self.tap["radio-rf"] * (
+                float(i_rf[0]) if update.rf_payload else i_rf
+            )
+            delivered = ((p_mcu + p_sensor) + p_digital) + p_rf
+            p_management = max(float(v2[0] * i2[0]) - delivered, 0.0)
+            rows = [
+                ("mcu", p_mcu),
+                ("sensor", p_sensor),
+                ("radio-digital", p_digital),
+                ("radio-rf", p_rf),
+                ("power-management", p_management),
+            ]
+        return i2, rows
+
+    # -- results -----------------------------------------------------------
+
+    def build_records(self, state: _ChainState) -> List[AirTimeRecord]:
+        """Air-time records for every committed packet, in node order."""
+        probe = self.probe
+        offset = FleetChannel._transmit_offset(probe)
+        on_air = probe.tx.startup_time() + probe.modulator.duration(
+            self.n_air_bits
+        )
+        records = []
+        for position, node_index in enumerate(self.spec.node_indices):
+            epoch = float(self.epochs[position])
+            for seq in range(int(state.packets[position])):
+                start = (epoch + (seq * self.period)) + offset
+                records.append(AirTimeRecord(
+                    node_id=node_index + 1,
+                    seq=seq,
+                    start=start,
+                    end=start + on_air,
+                ))
+        return records
+
+    def replay_recorder(
+        self, stream: Sequence[Tuple[float, Sequence[Tuple[str, float]]]]
+    ) -> Tuple[PowerRecorder, _Clock]:
+        """Feed a captured record stream through a real PowerRecorder."""
+        clock = _Clock(0.0)
+        recorder = PowerRecorder(clock)
+        for time, rows in stream:
+            clock.now = time
+            for channel, watts in rows:
+                recorder.record(channel, watts)
+        clock.now = self.end
+        return recorder, clock
+
+    def audit_lane(self, position: int) -> EnergyAudit:
+        """Re-run one lane with record capture and audit it for real."""
+        state = self.advance(np.array([position]), capture=True)
+        recorder, clock = self.replay_recorder(state.stream)
+        view = _AuditView(
+            engine=clock,
+            recorder=recorder,
+            cycles_completed=int(state.packets[0]),
+            brownout_events=[],
+            resets=0,
+        )
+        return audit_node(view)
+
+    # -- verification ------------------------------------------------------
+
+    def verify(self, full: _ChainState) -> None:
+        """Compare chain lane 0 bitwise against the event-stepped probe.
+
+        Also cross-checks the full-width run against a width-1 re-run of
+        the same lane, which enforces the elementwise width-independence
+        the whole contract rests on.  Any discrepancy at all raises
+        :class:`CohortFallback`.
+        """
+        probe = self.probe
+        sub = self.advance(np.array([0]), capture=True)
+        checks = [
+            (full.charge[0], sub.charge[0]),
+            (full.i_battery[0], sub.i_battery[0]),
+            (probe.battery.charge, sub.charge[0]),
+            (probe._i_battery, sub.i_battery[0]),
+        ]
+        for expected, got in checks:
+            if not _same_float(expected, got):
+                raise CohortFallback("probe/chain battery state mismatch")
+        if int(full.starts[0]) != int(sub.starts[0]) or int(
+            full.packets[0]
+        ) != int(sub.packets[0]):
+            raise CohortFallback("probe/chain cycle count mismatch")
+        if len(probe.cycle_start_times) != int(sub.starts[0]):
+            raise CohortFallback("probe/chain cycle count mismatch")
+        epoch = float(self.epochs[0])
+        for k, start in enumerate(probe.cycle_start_times):
+            if not _same_float(start, epoch + (k * self.period)):
+                raise CohortFallback("probe/chain wake timing mismatch")
+        if len(probe.packets_sent) != int(sub.packets[0]):
+            raise CohortFallback("probe/chain packet count mismatch")
+        recorder, _ = self.replay_recorder(sub.stream)
+        if recorder.channel_names() != probe.recorder.channel_names():
+            raise CohortFallback("probe/chain recorder channels mismatch")
+        for name in recorder.channel_names():
+            ours = recorder.channel(name).breakpoints()
+            theirs = probe.recorder.channel(name).breakpoints()
+            if len(ours) != len(theirs):
+                raise CohortFallback(f"trace length mismatch on {name!r}")
+            for (t_a, v_a), (t_b, v_b) in zip(ours, theirs):
+                if not (_same_float(t_a, t_b) and _same_float(v_a, v_b)):
+                    raise CohortFallback(f"trace mismatch on {name!r}")

@@ -27,6 +27,57 @@ BEACON_PERIOD_S = 6.0
 """The cube's wake/beacon period: one transmission every six seconds."""
 
 
+def fleet_node_config(
+    node_index: int, power_train: str = "cots", line_code: str = "nrz"
+) -> NodeConfig:
+    """Node configuration for fleet slot ``node_index`` (0-based).
+
+    Packet node ids are one byte on the air, so mega-fleets wrap the
+    transmitted id modulo 256; channel bookkeeping (collision keys,
+    :class:`AirTimeRecord`) uses the unique 1-based *logical* id
+    ``node_index + 1`` instead, which never wraps.
+    """
+    return NodeConfig(
+        node_id=(node_index + 1) % 256,
+        power_train=power_train,
+        line_code=line_code,
+    )
+
+
+def phase_node(node: PicoCube, offset: float,
+               period: float = BEACON_PERIOD_S) -> None:
+    """Arm ``node`` so its first wake lands at ``period + offset``.
+
+    This is the exact start/re-arm sequence :class:`FleetChannel` applies
+    to every node; the cohort engine's probe node goes through the same
+    call so both paths share one wake-time arithmetic.
+    """
+    node.start()
+    node._wake_timer.stop()
+    node._wake_timer.start(first_delay=period + offset)
+
+
+def fleet_offsets(
+    node_count: int,
+    stagger_s: Optional[float] = None,
+    phases: Optional[List[float]] = None,
+) -> List[float]:
+    """Wake-timer offsets for a fleet, reduced modulo the beacon period.
+
+    Explicit ``phases`` (e.g. random, for ALOHA studies) win; otherwise a
+    deterministic stagger spreads the period (clustered if tiny — the
+    worst case), defaulting to ``period / node_count``.
+    """
+    period = BEACON_PERIOD_S
+    if phases is not None:
+        if len(phases) != node_count:
+            raise ConfigurationError("need one phase per node")
+        return [p % period for p in phases]
+    if stagger_s is None:
+        stagger_s = period / node_count
+    return [(k * stagger_s) % period for k in range(node_count)]
+
+
 @dataclasses.dataclass(frozen=True)
 class AirTimeRecord:
     """One node's transmission burst on the shared channel."""
@@ -113,6 +164,7 @@ class FleetChannel:
         noise_windows: Optional[Sequence[Tuple[float, float]]] = None,
         retry: Optional[RetryPolicy] = None,
         retry_seed: int = 2008,
+        line_code: str = "nrz",
     ) -> None:
         if node_count < 1:
             raise ConfigurationError("need at least one node")
@@ -128,26 +180,17 @@ class FleetChannel:
         self.nodes: List[PicoCube] = []
         for k in range(node_count):
             node = PicoCube(
-                NodeConfig(node_id=k + 1, power_train=power_train),
+                fleet_node_config(k, power_train, line_code),
                 engine=self.engine,
             )
             self.nodes.append(node)
-        # Wake-timer phases: explicit (e.g. random, for ALOHA studies),
-        # or a deterministic stagger (clustered if tiny — the worst case).
-        period = BEACON_PERIOD_S
-        if phases is not None:
-            if len(phases) != node_count:
-                raise ConfigurationError("need one phase per node")
-            offsets = [p % period for p in phases]
-        else:
-            if stagger_s is None:
-                stagger_s = period / node_count
-            offsets = [(k * stagger_s) % period for k in range(node_count)]
-        self.stagger_s = stagger_s
-        for node, offset in zip(self.nodes, offsets):
-            node.start()
-            node._wake_timer.stop()
-            node._wake_timer.start(first_delay=period + offset)
+        self.offsets = fleet_offsets(node_count, stagger_s, phases)
+        self.stagger_s = (
+            stagger_s if phases is not None or stagger_s is not None
+            else BEACON_PERIOD_S / node_count
+        )
+        for node, offset in zip(self.nodes, self.offsets):
+            phase_node(node, offset)
 
     def run(self, duration: float) -> FleetStats:
         """Simulate the fleet and resolve channel collisions."""
@@ -162,25 +205,26 @@ class FleetChannel:
         """Every burst's (start, end) from each node's cycle bookkeeping.
 
         A burst occupies the air from the oscillator start to the last
-        bit; reconstructed from the packet length and bit rate, anchored
-        at the cycle's transmit phase.
+        bit; reconstructed from each packet's own line-coded length and
+        the bit rate, anchored at the cycle's transmit phase.  Records
+        carry the node's logical id (its 1-based fleet slot), which
+        unlike the one-byte on-air id never wraps in mega-fleets.
         """
         records = []
-        for node in self.nodes:
-            on_air = (
-                node.tx.startup_time()
-                + node.modulator.duration(
-                    node.packets_sent[0].bit_count if node.packets_sent else 0
-                )
-            )
+        for index, node in enumerate(self.nodes):
             # The transmit phase starts a fixed offset into each cycle
             # (wake + sensing + formatting); measured once per node type.
             offset = self._transmit_offset(node)
             sent = node.cycle_start_times[: len(node.packets_sent)]
-            for seq, start in enumerate(sent):
+            for seq, (start, packet) in enumerate(
+                zip(sent, node.packets_sent)
+            ):
+                on_air = node.tx.startup_time() + node.modulator.duration(
+                    len(node._line_code_bits(packet))
+                )
                 records.append(
                     AirTimeRecord(
-                        node_id=node.config.node_id,
+                        node_id=index + 1,
                         seq=seq,
                         start=start + offset,
                         end=start + offset + on_air,
@@ -220,101 +264,163 @@ class FleetChannel:
         Bursts that survive the collision sweep but fall inside an
         injected noise window are ``lost_to_noise``; with a
         :class:`RetryPolicy` each gets deterministic seeded
-        retransmissions (see :meth:`_model_retries`).
+        retransmissions (see :func:`model_retries`).
         """
-        records = self.air_time_records()
-        collided_ids = set()
-        active: Optional[AirTimeRecord] = None
-        for record in records:
-            if active is not None and record.start < active.end:
-                collided_ids.add((active.node_id, active.seq))
-                collided_ids.add((record.node_id, record.seq))
-            if active is None or record.end > active.end:
-                active = record
-        noised = [
-            record for record in records
-            if (record.node_id, record.seq) not in collided_ids
-            and self._in_noise(record)
-        ]
-        stats = FleetStats(
-            transmitted=len(records),
-            collided=len(collided_ids),
-            lost_to_noise=len(noised),
+        return resolve_channel(
+            self.air_time_records(),
+            noise_windows=self.noise_windows,
+            retry=self.retry,
+            retry_seed=self.retry_seed,
         )
-        if self.retry is not None and noised:
-            clean = [
-                record for record in records
-                if (record.node_id, record.seq) not in collided_ids
-                and not self._in_noise(record)
-            ]
-            stats.retries, stats.recovered = self._model_retries(
-                noised, clean
-            )
-        return stats
 
     def _in_noise(self, record: AirTimeRecord) -> bool:
-        return any(
-            record.start < hi and lo < record.end
-            for lo, hi in self.noise_windows
-        )
+        return burst_in_noise(record, self.noise_windows)
 
     def _model_retries(
         self,
         lost: List[AirTimeRecord],
         delivered: List[AirTimeRecord],
     ) -> Tuple[int, int]:
-        """Channel-level retransmission model for noise-lost bursts.
+        return model_retries(
+            lost, delivered,
+            retry=self.retry,
+            noise_windows=self.noise_windows,
+            retry_seed=self.retry_seed,
+        )
 
-        Each lost burst retries with exponential backoff and jitter from
-        an RNG seeded by ``(retry_seed, node_id, seq)`` — a pure function
-        of the fleet parameters, so campaign results stay bit-identical
-        for any worker count.  A retry succeeds when it clears every
-        noise window and does not overlap any already-delivered burst
-        (originals or earlier accepted retries).  The model is post-hoc:
-        retry energy is not charged to the nodes, which keeps the
-        per-node power books identical with and without a channel fault
-        schedule.
-        """
-        retries = recovered = 0
-        occupied = list(delivered)
-        for record in sorted(lost, key=lambda r: (r.start, r.node_id)):
-            rng = random.Random(
-                f"{self.retry_seed}:{record.node_id}:{record.seq}"
+
+def burst_in_noise(
+    record: AirTimeRecord, noise_windows: Sequence[Tuple[float, float]]
+) -> bool:
+    """True when a burst overlaps any injected noise window."""
+    return any(
+        record.start < hi and lo < record.end
+        for lo, hi in noise_windows
+    )
+
+
+def resolve_channel(
+    records: Sequence[AirTimeRecord],
+    noise_windows: Sequence[Tuple[float, float]] = (),
+    retry: Optional[RetryPolicy] = None,
+    retry_seed: int = 2008,
+) -> FleetStats:
+    """Resolve sorted air-time records into channel statistics.
+
+    This is the single collision/noise/retry arithmetic shared by the
+    per-node :class:`FleetChannel` path and the cohort engine
+    (:mod:`repro.net.cohort`): both feed their records through here, so
+    their :class:`FleetStats` agree bit for bit by construction.
+    ``records`` must be sorted by start time (both producers sort).
+    """
+    collided_ids = set()
+    active: Optional[AirTimeRecord] = None
+    for record in records:
+        if active is not None and record.start < active.end:
+            collided_ids.add((active.node_id, active.seq))
+            collided_ids.add((record.node_id, record.seq))
+        if active is None or record.end > active.end:
+            active = record
+    noised = [
+        record for record in records
+        if (record.node_id, record.seq) not in collided_ids
+        and burst_in_noise(record, noise_windows)
+    ]
+    stats = FleetStats(
+        transmitted=len(records),
+        collided=len(collided_ids),
+        lost_to_noise=len(noised),
+    )
+    if retry is not None and noised:
+        clean = [
+            record for record in records
+            if (record.node_id, record.seq) not in collided_ids
+            and not burst_in_noise(record, noise_windows)
+        ]
+        stats.retries, stats.recovered = model_retries(
+            noised, clean,
+            retry=retry,
+            noise_windows=noise_windows,
+            retry_seed=retry_seed,
+        )
+    return stats
+
+
+def model_retries(
+    lost: List[AirTimeRecord],
+    delivered: List[AirTimeRecord],
+    retry: RetryPolicy,
+    noise_windows: Sequence[Tuple[float, float]] = (),
+    retry_seed: int = 2008,
+) -> Tuple[int, int]:
+    """Channel-level retransmission model for noise-lost bursts.
+
+    Each lost burst retries with exponential backoff and jitter from
+    an RNG seeded by ``(retry_seed, node_id, seq)`` — a pure function
+    of the fleet parameters, so campaign results stay bit-identical
+    for any worker count.  Lost bursts are processed in ``(start,
+    node_id)`` order, so the outcome is invariant under permutation of
+    the ``lost`` list.  A retry succeeds when it clears every noise
+    window and does not overlap any already-delivered burst (originals
+    or earlier accepted retries).  The model is post-hoc: retry energy
+    is not charged to the nodes, which keeps the per-node power books
+    identical with and without a channel fault schedule.
+    """
+    retries = recovered = 0
+    occupied = list(delivered)
+    for record in sorted(lost, key=lambda r: (r.start, r.node_id)):
+        rng = random.Random(
+            f"{retry_seed}:{record.node_id}:{record.seq}"
+        )
+        duration = record.end - record.start
+        t = record.end
+        for attempt in range(1, retry.max_retries + 1):
+            t += (
+                retry.backoff_s * (2.0 ** (attempt - 1))
+                + rng.uniform(0.0, retry.jitter_s)
             )
-            duration = record.end - record.start
-            t = record.end
-            for attempt in range(1, self.retry.max_retries + 1):
-                t += (
-                    self.retry.backoff_s * (2.0 ** (attempt - 1))
-                    + rng.uniform(0.0, self.retry.jitter_s)
-                )
-                candidate = AirTimeRecord(
-                    node_id=record.node_id,
-                    seq=record.seq,
-                    start=t,
-                    end=t + duration,
-                )
-                retries += 1
-                t = candidate.end
-                if self._in_noise(candidate):
-                    continue
-                if any(candidate.overlaps(r) for r in occupied):
-                    continue
-                occupied.append(candidate)
-                recovered += 1
-                break
-        return retries, recovered
+            candidate = AirTimeRecord(
+                node_id=record.node_id,
+                seq=record.seq,
+                start=t,
+                end=t + duration,
+            )
+            retries += 1
+            t = candidate.end
+            if burst_in_noise(candidate, noise_windows):
+                continue
+            if any(candidate.overlaps(r) for r in occupied):
+                continue
+            occupied.append(candidate)
+            recovered += 1
+            break
+    return retries, recovered
 
 
 def density_sweep(
     node_counts: List[int],
     duration: float = 600.0,
     stagger_s: Optional[float] = None,
+    phase_seed: Optional[int] = None,
 ) -> List[Tuple[int, FleetStats]]:
-    """Collision statistics across fleet sizes (the density curve)."""
+    """Collision statistics across fleet sizes (the density curve).
+
+    With ``phase_seed`` set, each fleet gets random wake phases from an
+    RNG seeded by ``(phase_seed, count)`` — a pure function of the sweep
+    parameters, so a seeded sweep reproduces bit-identically regardless
+    of which counts are swept or in what order.  Without it, the
+    deterministic ``stagger_s`` spacing applies as before.
+    """
     results = []
     for count in node_counts:
-        fleet = FleetChannel(count, stagger_s=stagger_s)
+        if phase_seed is not None:
+            rng = random.Random(f"{phase_seed}:{count}")
+            phases = [
+                rng.uniform(0.0, BEACON_PERIOD_S) for _ in range(count)
+            ]
+            fleet = FleetChannel(count, phases=phases)
+        else:
+            fleet = FleetChannel(count, stagger_s=stagger_s)
         results.append((count, fleet.run(duration)))
     return results
 

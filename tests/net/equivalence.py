@@ -1,0 +1,82 @@
+"""Reusable cohort/per-node equivalence harness.
+
+The cohort engine's contract is *bit-identity* with per-node stepping:
+same ``FleetStats``, same air-time records, same per-node
+``EnergyAudit``s, for any scenario and any cohort partitioning.  This
+module is the single place that contract is spelled out as assertions —
+every equivalence test (registered topologies, line codes, degradation,
+chaos schedules) funnels one :class:`~repro.sim.fleet_engine.FleetScenario`
+through :func:`assert_engines_equivalent` rather than re-implementing
+the comparison.
+
+Not a test module itself (no ``test_`` prefix): import it as
+``tests.net.equivalence``.
+"""
+
+from typing import Optional, Sequence, Tuple
+
+from repro.sim.fleet_engine import FleetRun, FleetScenario, run_fleet
+
+
+def run_both_engines(
+    scenario: FleetScenario,
+    cohort_size: Optional[int] = None,
+) -> Tuple[FleetRun, FleetRun]:
+    """Run one scenario through the per-node and cohort engines."""
+    reference = run_fleet(scenario, engine="per-node")
+    candidate = run_fleet(scenario, engine="cohort", cohort_size=cohort_size)
+    return reference, candidate
+
+
+def assert_engines_equivalent(
+    scenario: FleetScenario,
+    cohort_size: Optional[int] = None,
+    audit_indices: Optional[Sequence[int]] = None,
+    expect_engine: str = "cohort",
+) -> Tuple[FleetRun, FleetRun]:
+    """Assert the two engines agree bitwise on one scenario.
+
+    Checks channel statistics, every air-time record, per-node battery
+    state (as ``float.hex()``, so equality is to the last bit), packet
+    counts, and the full ``EnergyAudit`` of ``audit_indices`` (default:
+    every node).  ``expect_engine`` pins which path the cohort request
+    must actually have taken — pass ``"per-node"`` when the scenario is
+    *supposed* to fall back, which keeps fallback scenarios honest too.
+    Returns both runs for extra scenario-specific assertions.
+    """
+    reference, candidate = run_both_engines(scenario, cohort_size)
+    assert candidate.engine_used == expect_engine, (
+        f"expected the {expect_engine} path, got {candidate.engine_used} "
+        f"({candidate.fallback_reason})"
+    )
+    assert candidate.stats == reference.stats, (
+        f"FleetStats diverged: {candidate.stats} != {reference.stats}"
+    )
+    assert len(candidate.records) == len(reference.records)
+    for ours, theirs in zip(candidate.records, reference.records):
+        assert ours == theirs, f"air-time record diverged: {ours} != {theirs}"
+    indices = (
+        range(scenario.node_count) if audit_indices is None else audit_indices
+    )
+    for index in indices:
+        assert (
+            candidate.battery_charge(index).hex()
+            == reference.battery_charge(index).hex()
+        ), f"node {index} final charge diverged"
+        assert candidate.packets_sent(index) == reference.packets_sent(index)
+        assert candidate.audit(index) == reference.audit(index), (
+            f"node {index} EnergyAudit diverged"
+        )
+    return reference, candidate
+
+
+def assert_partitioning_invariant(
+    scenario: FleetScenario,
+    sizes: Sequence[Optional[int]],
+    audit_indices: Optional[Sequence[int]] = None,
+) -> None:
+    """Assert every cohort partitioning reproduces the per-node result."""
+    for size in sizes:
+        assert_engines_equivalent(
+            scenario, cohort_size=size, audit_indices=audit_indices
+        )

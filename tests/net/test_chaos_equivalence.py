@@ -1,0 +1,87 @@
+"""Cohort/scalar equivalence under fault schedules, pinned by goldens.
+
+Two chaos scenarios in the style of the PR 2 fault storms:
+
+* **channel chaos** — noise windows, seeded retries, and per-node
+  battery degradation.  All channel-level, so the cohort fast path
+  handles it and must match per-node stepping bitwise.
+* **harvest chaos** — the same storm plus a harvester with a dropout
+  window.  Charge arriving between wakes is exactly what the chain does
+  not model, so the cohort request must *fall back* and still match.
+
+The float-hex goldens (style of ``tests/core/test_graph_equivalence.py``)
+pin today's arithmetic so an engine regression cannot hide behind the
+equivalence check agreeing with itself: equality here is to the last
+bit of the mantissa, not approximate.
+"""
+
+from repro.net.fleet import FleetStats, RetryPolicy
+from repro.sim.fleet_engine import FleetScenario, HarvestSpec
+
+from .equivalence import assert_engines_equivalent
+
+STORM = dict(
+    node_count=4,
+    duration_s=180.0,
+    phases=(0.0, 0.00005, 2.5, 4.0),  # two near-coincident wakes collide
+    noise_windows=((30.0, 45.0), (90.0, 90.5)),
+    retry=RetryPolicy(max_retries=2, backoff_s=0.05, jitter_s=0.02),
+    esr_multipliers=(1.0, 1.8, 1.0, 1.0),
+    self_discharge_multipliers=(1.0, 1.0, 6.0, 1.0),
+)
+
+STORM_STATS = FleetStats(
+    transmitted=116, collided=58, lost_to_noise=5, retries=10, recovered=0
+)
+
+
+def test_channel_chaos_is_bit_identical_on_the_fast_path():
+    scenario = FleetScenario(**STORM)
+    _, run = assert_engines_equivalent(scenario, cohort_size=2)
+    assert run.stats == STORM_STATS
+    golden_charges = (
+        "0x1.033065d4ebcd5p+5",
+        "0x1.033065d1a67dbp+5",
+        "0x1.032bb5d8bc72ap+5",
+        "0x1.033065c7d2f3bp+5",
+    )
+    golden_power = (
+        "0x1.ab8a684749e47p-18",
+        "0x1.ab612330a077dp-18",
+        "0x1.abbea7a796251p-18",
+        "0x1.ab960eff925dep-18",
+    )
+    for index in range(4):
+        audit = run.audit(index)
+        assert run.battery_charge(index).hex() == golden_charges[index]
+        assert audit.average_power_w.hex() == golden_power[index]
+        assert audit.availability == 1.0
+        assert audit.brownouts == 0 and audit.resets == 0
+
+
+def test_harvest_chaos_falls_back_and_matches_with_goldens():
+    scenario = FleetScenario(
+        harvest=HarvestSpec(
+            current_a=80e-6, period_s=30.0, dropouts=((60.0, 120.0),)
+        ),
+        **STORM,
+    )
+    _, run = assert_engines_equivalent(scenario, expect_engine="per-node")
+    # Channel arithmetic is independent of the energy path: the storm
+    # resolves to the same statistics with or without harvesting.
+    assert run.stats == STORM_STATS
+    golden_charges = (
+        "0x1.03440ef90ae9dp+5",
+        "0x1.03440ef5c59a6p+5",
+        "0x1.033f5ede8370fp+5",
+        "0x1.03440eebf1b9fp+5",
+    )
+    for index in range(4):
+        audit = run.audit(index)
+        assert run.battery_charge(index).hex() == golden_charges[index]
+        assert audit.availability == 1.0
+        assert audit.cycles == 29
+    # Harvesting ran: the dropped-out fleet still netted more charge
+    # than the unharvested storm (80 uA for 2 of 3 minutes).
+    unharvested = float.fromhex("0x1.033065d4ebcd5p+5")
+    assert run.battery_charge(0) > unharvested

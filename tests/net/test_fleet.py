@@ -152,3 +152,65 @@ def test_collision_sweep_middle_burst_ends_early():
     ]
     stats = _Stub(records).collision_stats()
     assert stats.collided == 3
+
+
+def test_air_time_records_use_each_packets_own_bit_count():
+    """Regression: on-air time must come from each packet's own line-coded
+    length, not from packets_sent[0] (mixed-length packets happen with
+    heartbeats and future variable payloads)."""
+    from repro.net.packet import KIND_HEARTBEAT, PicoPacket
+
+    fleet = FleetChannel(1, phases=[0.0])
+    fleet.run(13.0)
+    node = fleet.nodes[0]
+    assert len(node.packets_sent) == 2
+    short = PicoPacket(node_id=node.config.node_id, kind=KIND_HEARTBEAT,
+                       seq=1, payload_words=())
+    assert short.bit_count < node.packets_sent[0].bit_count
+    node.packets_sent[1] = short
+
+    records = fleet.air_time_records()
+    durations = [record.end - record.start for record in records]
+    startup = node.tx.startup_time()
+    expected = [
+        startup + node.modulator.duration(len(node._line_code_bits(packet)))
+        for packet in node.packets_sent
+    ]
+    # end/start are absolute times, so the subtraction reintroduces at
+    # most an ulp of rounding against the directly-summed on-air time.
+    assert durations == pytest.approx(expected, rel=1e-12)
+    assert durations[1] < durations[0]
+
+
+def test_density_sweep_phase_seed_reproducible():
+    """A seeded random-phase sweep is a pure function of (seed, count)."""
+    first = density_sweep([2, 4], duration=30.0, phase_seed=9)
+    again = density_sweep([2, 4], duration=30.0, phase_seed=9)
+    assert first == again
+    # Sweeping a different subset draws the same phases per count.
+    subset = density_sweep([4], duration=30.0, phase_seed=9)
+    assert subset[0] == first[1]
+    # A different seed draws a genuinely different set of phases.
+    import random
+
+    from repro.net.fleet import BEACON_PERIOD_S
+
+    draws = {
+        seed: [random.Random(f"{seed}:4").uniform(0.0, BEACON_PERIOD_S)
+               for _ in range(4)]
+        for seed in (9, 10)
+    }
+    assert draws[9] != draws[10]
+
+
+def test_density_sweep_phase_seed_matches_manual_phases():
+    import random
+
+    from repro.net.fleet import BEACON_PERIOD_S
+
+    rng = random.Random("9:3")
+    phases = [rng.uniform(0.0, BEACON_PERIOD_S) for _ in range(3)]
+    fleet = FleetChannel(3, phases=phases)
+    expected = fleet.run(30.0)
+    (_, seeded), = density_sweep([3], duration=30.0, phase_seed=9)
+    assert seeded == expected

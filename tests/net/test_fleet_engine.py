@@ -1,0 +1,119 @@
+"""Behavioral tests for the fleet engine layer (repro.sim.fleet_engine)."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.fleet import BEACON_PERIOD_S, fleet_offsets
+from repro.sim.fleet_engine import (
+    FleetScenario,
+    HarvestSpec,
+    run_fleet,
+    scenario_offsets,
+)
+
+from .equivalence import assert_engines_equivalent
+
+
+def test_scenario_validation():
+    with pytest.raises(ConfigurationError):
+        FleetScenario(node_count=0, duration_s=10.0)
+    with pytest.raises(ConfigurationError):
+        FleetScenario(node_count=2, duration_s=0.0)
+    with pytest.raises(ConfigurationError):
+        FleetScenario(node_count=2, duration_s=10.0,
+                      phases=(0.0, 1.0), phase_seed=3)
+    with pytest.raises(ConfigurationError):
+        FleetScenario(node_count=3, duration_s=10.0, phases=(0.0, 1.0))
+    with pytest.raises(ConfigurationError):
+        FleetScenario(node_count=3, duration_s=10.0,
+                      esr_multipliers=(1.0, 1.0))
+
+
+def test_harvest_spec_validation():
+    with pytest.raises(ConfigurationError):
+        HarvestSpec(current_a=-1e-6)
+    with pytest.raises(ConfigurationError):
+        HarvestSpec(current_a=1e-6, period_s=0.0)
+    with pytest.raises(ConfigurationError):
+        HarvestSpec(current_a=1e-6, dropouts=((5.0, 5.0),))
+
+
+def test_engine_argument_validation():
+    scenario = FleetScenario(node_count=1, duration_s=10.0)
+    with pytest.raises(ConfigurationError):
+        run_fleet(scenario, engine="warp")
+    with pytest.raises(ConfigurationError):
+        run_fleet(scenario, cohort_size=0)
+
+
+def test_phase_seed_offsets_match_density_sweep_stream():
+    """scenario_offsets draws from the same seeded stream density_sweep
+    uses, so seeded engine runs and seeded sweeps see identical fleets."""
+    scenario = FleetScenario(node_count=5, duration_s=10.0, phase_seed=77)
+    rng = random.Random("77:5")
+    expected = fleet_offsets(
+        5, phases=[rng.uniform(0.0, BEACON_PERIOD_S) for _ in range(5)]
+    )
+    assert scenario_offsets(scenario) == expected
+
+
+def test_stagger_offsets_match_fleet_channel_default():
+    scenario = FleetScenario(node_count=4, duration_s=10.0)
+    assert scenario_offsets(scenario) == fleet_offsets(4)
+
+
+def test_harvest_scenario_falls_back_but_matches():
+    """Any harvest at all forces (and is correct on) the per-node path."""
+    scenario = FleetScenario(
+        node_count=3,
+        duration_s=45.0,
+        stagger_s=1.5,
+        harvest=HarvestSpec(current_a=50e-6, dropouts=((10.0, 20.0),)),
+    )
+    _, candidate = assert_engines_equivalent(
+        scenario, expect_engine="per-node"
+    )
+    assert "harvest" in candidate.fallback_reason
+
+
+def test_harvest_dropout_costs_charge():
+    """The dropout window visibly reduces harvested charge."""
+    base = dict(node_count=1, duration_s=600.0, stagger_s=1.0)
+    healthy = run_fleet(
+        FleetScenario(harvest=HarvestSpec(current_a=100e-6), **base)
+    )
+    dropped = run_fleet(
+        FleetScenario(
+            harvest=HarvestSpec(current_a=100e-6, dropouts=((0.0, 300.0),)),
+            **base,
+        )
+    )
+    assert dropped.battery_charge(0) < healthy.battery_charge(0)
+
+
+def test_fleet_run_index_bounds():
+    run = run_fleet(FleetScenario(node_count=2, duration_s=30.0))
+    for index in (-1, 2):
+        with pytest.raises(ConfigurationError):
+            run.audit(index)
+        with pytest.raises(ConfigurationError):
+            run.battery_charge(index)
+        with pytest.raises(ConfigurationError):
+            run.packets_sent(index)
+
+
+def test_per_node_request_never_reports_fallback():
+    run = run_fleet(
+        FleetScenario(node_count=2, duration_s=30.0), engine="per-node"
+    )
+    assert run.engine_used == "per-node"
+    assert run.fallback_reason is None
+
+
+def test_record_count_matches_packet_counts():
+    run = run_fleet(FleetScenario(node_count=3, duration_s=45.0))
+    total = sum(run.packets_sent(k) for k in range(3))
+    assert len(run.records) == total
+    assert run.node_count == 3

@@ -1,0 +1,123 @@
+"""Edge cases for the channel-level retry model (net.fleet.model_retries).
+
+The retry model is pure arithmetic over air-time records, so every edge
+can be pinned exactly with jitter disabled: window-boundary grazes,
+budget exhaustion, and retry-vs-retry collisions.  The Hypothesis
+property at the end locks in the documented guarantee that the outcome
+is invariant under permutation of the ``lost`` list.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.fleet import (
+    AirTimeRecord,
+    RetryPolicy,
+    burst_in_noise,
+    model_retries,
+)
+
+NO_JITTER = RetryPolicy(max_retries=2, backoff_s=0.5, jitter_s=0.0)
+
+
+def _lost(node_id, start, end, seq=0):
+    return AirTimeRecord(node_id=node_id, seq=seq, start=start, end=end)
+
+
+def test_retry_starting_exactly_at_window_end_is_clear():
+    """Noise windows are half-open on both sides of the overlap test: a
+    retry starting exactly where the window closes survives."""
+    window = (4.0, 6.0)
+    record = _lost(1, 5.0, 5.5)  # in noise; retry lands at exactly 6.0
+    retries, recovered = model_retries(
+        [record], [], NO_JITTER, noise_windows=[window]
+    )
+    assert (retries, recovered) == (1, 1)
+    assert not burst_in_noise(_lost(1, 6.0, 6.5), [window])
+
+
+def test_retry_ending_exactly_at_window_start_is_clear():
+    record = _lost(1, 5.0, 5.5)
+    windows = [(4.0, 5.8), (6.5, 7.0)]  # retry is (6.0, 6.5): grazes both
+    retries, recovered = model_retries(
+        [record], [], NO_JITTER, noise_windows=windows
+    )
+    assert (retries, recovered) == (1, 1)
+    assert not burst_in_noise(_lost(1, 6.0, 6.5), windows)
+
+
+def test_retry_overlapping_window_interior_is_lost():
+    """One ulp inside the window and the retry burns an attempt."""
+    record = _lost(1, 5.0, 5.5)
+    retries, recovered = model_retries(
+        [record], [], NO_JITTER, noise_windows=[(4.0, 6.0 + 1e-9)]
+    )
+    # Attempt 1 (6.0, 6.5) clips the window; attempt 2 (7.5, 8.0) clears.
+    assert (retries, recovered) == (2, 1)
+
+
+def test_max_retries_exhausted_under_persistent_noise():
+    policy = RetryPolicy(max_retries=3, backoff_s=0.5, jitter_s=0.0)
+    record = _lost(1, 5.0, 5.5)
+    retries, recovered = model_retries(
+        [record], [], policy, noise_windows=[(4.0, 100.0)]
+    )
+    assert (retries, recovered) == (3, 0)
+
+
+def test_retry_colliding_with_earlier_accepted_retry():
+    """An accepted retry occupies the channel for later retries too."""
+    window = (4.0, 5.8)
+    first = _lost(1, 5.0, 5.5)
+    second = _lost(2, 5.1, 5.6)
+    retries, recovered = model_retries(
+        [first, second], [], NO_JITTER, noise_windows=[window]
+    )
+    # first retries to (6.0, 6.5) and is accepted; second's attempt 1 at
+    # (6.1, 6.6) collides with it, attempt 2 at (7.6, 8.1) clears.
+    assert (retries, recovered) == (3, 2)
+
+
+def test_retry_colliding_with_delivered_original():
+    window = (4.0, 5.8)
+    record = _lost(1, 5.0, 5.5)
+    delivered = [AirTimeRecord(node_id=9, seq=0, start=5.9, end=6.4)]
+    retries, recovered = model_retries(
+        [record], delivered, NO_JITTER, noise_windows=[window]
+    )
+    # Attempt 1 (6.0, 6.5) hits the delivered burst; attempt 2 clears.
+    assert (retries, recovered) == (2, 1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    data=st.data(),
+    bursts=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            st.floats(min_value=1e-4, max_value=0.5, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    windows=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=40.0, allow_nan=False),
+            st.floats(min_value=0.1, max_value=20.0, allow_nan=False),
+        ),
+        max_size=3,
+    ),
+)
+def test_outcome_invariant_under_lost_permutation(data, bursts, windows):
+    """retries/recovered depend only on the *set* of lost bursts."""
+    lost = [
+        _lost(node_id=k + 1, start=start, end=start + width)
+        for k, (start, width) in enumerate(bursts)
+    ]
+    noise = [(lo, lo + width) for lo, width in windows]
+    policy = RetryPolicy(max_retries=2, backoff_s=0.05, jitter_s=0.02)
+    baseline = model_retries(lost, [], policy, noise_windows=noise)
+    shuffled = data.draw(st.permutations(lost))
+    assert model_retries(
+        shuffled, [], policy, noise_windows=noise
+    ) == baseline

@@ -87,6 +87,26 @@ def test_audit_fast_forward_requires_steady(capsys):
     assert main(["audit", "--fast-forward"]) == 2
 
 
+def test_fleet_command(capsys):
+    code, out = run_cli(capsys, "fleet", "--nodes", "32", "--duration",
+                        "30", "--phase-seed", "7")
+    assert code == 0
+    assert "cohort" in out
+    assert "transmitted" in out
+
+
+def test_fleet_compare_engines(capsys):
+    code, out = run_cli(capsys, "fleet", "--nodes", "6", "--duration",
+                        "30", "--compare")
+    assert code == 0
+    assert "bit-identical to per-node: True" in out
+
+
+def test_fleet_invalid_engine_rejected():
+    with pytest.raises(SystemExit):
+        main(["fleet", "--engine", "warp"])
+
+
 def test_perf_command(capsys):
     code, out = run_cli(capsys, "perf", "audit", "--hours", "0.02",
                         "--top", "5")

@@ -22,6 +22,7 @@ FAST_EXAMPLES = [
     "car_monitor.py",
     "tpms_deployment.py",
     "chaos_storm.py",
+    "tpms_city.py",
 ]
 
 

@@ -41,6 +41,7 @@ DEFAULT_TARGETS = [
     "benchmarks/test_sim_performance.py",
     "benchmarks/test_e29_year_scale.py",
     "benchmarks/test_train_solve_throughput.py",
+    "benchmarks/test_fleet_cohort_throughput.py",
 ]
 
 
