@@ -14,8 +14,10 @@ from __future__ import annotations
 
 import time
 
+import numpy as np
 import pytest
 
+from repro.core import make_power_train
 from repro.sim.fleet_engine import FleetScenario, run_fleet
 
 #: Fleet size named by the acceptance gate.  Thirty seconds gives every
@@ -72,4 +74,58 @@ def test_cohort_at_least_5x_faster_than_per_node():
         f"({cohort_rate:,.0f} vs {scalar_rate:,.0f} node-cycles/s; "
         f"cohort {t_cohort:.2f} s at {COHORT_NODES} nodes, "
         f"per-node {t_scalar:.2f} s at {PER_NODE_NODES} nodes)"
+    )
+
+
+#: The cohort chain's inner solve, as gated by the compiled-kernel
+#: acceptance test below: one ``solve_graph_batch`` per advance step, a
+#: 1024-point axis, the radio conducting for a TX slot.
+INNER_POINTS = 1024
+INNER_V = np.linspace(1.15, 1.40, INNER_POINTS)
+INNER_TX_LOADS = {"mcu": 250e-6, "sensor": 0.3e-6,
+                  "radio-digital": 50e-6, "radio-rf": 4.0e-3}
+
+
+def test_compiled_inner_solve_at_least_2x_interpreted():
+    """Acceptance gate: the plan-compiled kernel behind the cohort
+    chain's ``solve_graph_batch`` must beat the interpreted plan walk
+    by >= 2x at 1024 points.  Both sides are the same call — only
+    ``compiled`` flips — and each timing sample amortizes a block of
+    calls so scheduler noise cannot fail a healthy build.
+    """
+    from repro.power.compile import kernel_metrics
+
+    train = make_power_train("cots")
+    train.enable_radio()
+    # Warm: first call compiles and bitwise-verifies the kernel.
+    train.solve_graph_batch(INNER_V, INNER_TX_LOADS)
+    before = kernel_metrics().kernel_solves
+    train.solve_graph_batch(INNER_V, INNER_TX_LOADS)
+    assert kernel_metrics().kernel_solves > before, (
+        "compiled fast path is not serving this profile (fell back to "
+        "the interpreted walk), so the speedup gate would be vacuous"
+    )
+
+    def best_of(fn, repeats=5, block=20):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for _ in range(block):
+                fn()
+            best = min(best, (time.perf_counter() - start) / block)
+        return best
+
+    t_compiled = best_of(
+        lambda: train.solve_graph_batch(INNER_V, INNER_TX_LOADS)
+    )
+    t_interpreted = best_of(
+        lambda: train.solve_graph_batch(INNER_V, INNER_TX_LOADS,
+                                        compiled=False)
+    )
+    speedup = t_interpreted / t_compiled
+    assert speedup >= 2.0, (
+        f"compiled solve_graph_batch only {speedup:.2f}x the "
+        f"interpreted walk at {INNER_POINTS} points (interpreted "
+        f"{t_interpreted * 1e6:.1f} us, compiled {t_compiled * 1e6:.1f}"
+        f" us)"
     )

@@ -105,3 +105,56 @@ def test_solve_batch_at_least_5x_faster_than_scalar_loop():
         f"at {BATCH_POINTS} points (scalar {t_scalar * 1e3:.2f} ms, "
         f"batch {t_batch * 1e3:.2f} ms)"
     )
+
+
+#: The TX operating point from the mixed workload above, as batch
+#: channel loads: the gate profile for the compiled-kernel acceptance
+#: test (radio conducting exercises the shunt + switched-LDO branches).
+TX_BATCH_LOADS = {"mcu": 250e-6, "sensor": 0.3e-6,
+                  "radio-digital": 50e-6, "radio-rf": 4.0e-3}
+
+
+def test_compiled_solve_batch_at_least_2x_interpreted():
+    """Acceptance gate: the plan-compiled fused kernel must beat the
+    interpreted plan walk by >= 2x at 1024 operating points.  Both
+    sides are the same ``solve_batch`` call — only ``compiled`` flips —
+    and each timing sample amortizes a block of calls so scheduler
+    noise cannot fail a healthy build.
+    """
+    from repro.power.compile import kernel_metrics
+
+    graph = RailGraph(get_rail_spec("cots"))
+    gates = frozenset({"radio"})
+    # Warm: first call compiles and bitwise-verifies the kernel.
+    graph.solve_batch(BATCH_V, TX_BATCH_LOADS, open_gates=gates)
+    before = kernel_metrics().kernel_solves
+    graph.solve_batch(BATCH_V, TX_BATCH_LOADS, open_gates=gates)
+    assert kernel_metrics().kernel_solves > before, (
+        "compiled fast path is not serving this profile (fell back to "
+        "the interpreted walk), so the speedup gate would be vacuous"
+    )
+
+    def best_of(fn, repeats=5, block=20):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for _ in range(block):
+                fn()
+            best = min(best, (time.perf_counter() - start) / block)
+        return best
+
+    t_compiled = best_of(
+        lambda: graph.solve_batch(BATCH_V, TX_BATCH_LOADS,
+                                  open_gates=gates)
+    )
+    t_interpreted = best_of(
+        lambda: graph.solve_batch(BATCH_V, TX_BATCH_LOADS,
+                                  open_gates=gates, compiled=False)
+    )
+    speedup = t_interpreted / t_compiled
+    assert speedup >= 2.0, (
+        f"compiled solve_batch only {speedup:.2f}x the interpreted walk "
+        f"at {BATCH_POINTS} points (interpreted "
+        f"{t_interpreted * 1e6:.1f} us, compiled {t_compiled * 1e6:.1f}"
+        f" us)"
+    )

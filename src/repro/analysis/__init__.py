@@ -9,9 +9,10 @@ AST level, before a simulation ever runs:
 
 - **Unit rules** (``UNIT001``–``UNIT003``): suffix-mismatched argument
   bindings, mixed-dimension ``+``/``-``, and bare ``1e-…`` SI literals.
-- **Determinism rules** (``DET001``–``DET003``): unseeded ``random.*``
-  draws, wall-clock reads inside ``repro.sim``/``repro.core``, and
-  unsorted set iteration in the replay hot paths.
+- **Determinism rules** (``DET001``–``DET004``): unseeded ``random.*``
+  draws, wall-clock reads inside ``repro.sim``/``repro.core``, unsorted
+  set iteration in the replay hot paths, and ``exec``/``eval`` anywhere
+  outside the sanctioned kernel compiler (``repro.power.compile``).
 - **Contract rules** (``API001``–``API004``): unfrozen fault-event
   dataclasses, missing ``__slots__`` on registered hot-path classes,
   mutable default arguments, and rail-graph topology specs that are
@@ -41,6 +42,7 @@ from .rules_contracts import (
     UnfrozenRailSpecRule,
 )
 from .rules_determinism import (
+    DynamicCodeRule,
     UnorderedIterationRule,
     UnseededRandomRule,
     WallClockRule,
@@ -61,6 +63,7 @@ def default_rules():
         UnseededRandomRule(),
         WallClockRule(),
         UnorderedIterationRule(),
+        DynamicCodeRule(),
         UnfrozenFaultEventRule(),
         MissingSlotsRule(),
         MutableDefaultRule(),
@@ -69,6 +72,7 @@ def default_rules():
 
 
 __all__ = [
+    "DynamicCodeRule",
     "Finding",
     "MissingSlotsRule",
     "ModuleContext",

@@ -22,6 +22,13 @@ wall-clock read silently breaks all three.  Three rules:
     set-algebra result, or a local assigned from one) without
     ``sorted()`` in the trace/engine/fast-forward hot paths, where
     iteration order feeds event scheduling.
+
+``DET004 dynamic-code``
+    ``exec``/``eval`` anywhere except ``repro.power.compile`` — the one
+    sanctioned codegen escape hatch (plan-compiled solve kernels, whose
+    generated source is bitwise-verified against the interpreted walk on
+    first use).  Dynamic code anywhere else would let untracked source
+    into the replay contract.
 """
 
 from __future__ import annotations
@@ -52,6 +59,16 @@ _BANNED_CLOCK_CALLS = frozenset({
 _SET_METHODS = frozenset({
     "intersection", "union", "difference", "symmetric_difference",
 })
+
+#: ``exec``/``eval`` spellings DET004 rejects: the bare builtins and the
+#: explicit ``builtins.``-qualified forms.
+_DYNAMIC_CODE_CALLS = frozenset({
+    "exec", "eval", "builtins.exec", "builtins.eval",
+})
+
+#: The one module allowed to call ``exec``: the RailGraph plan compiler
+#: (its generated kernels are bitwise-verified on first use).
+_DYNAMIC_CODE_ALLOWED_MODULES = frozenset({"repro.power.compile"})
 
 
 def _dotted(node: ast.AST) -> Optional[str]:
@@ -132,6 +149,34 @@ class WallClockRule(Rule):
                     ctx, node,
                     f"{dotted}() reads the host, not the simulation; "
                     f"simulated time comes from the engine clock",
+                )
+
+
+class DynamicCodeRule(Rule):
+    """``exec``/``eval`` outside the sanctioned kernel compiler."""
+
+    rule_id = "DET004"
+    rule_name = "dynamic-code"
+    severity = SEVERITY_ERROR
+    description = ("exec/eval are forbidden everywhere except "
+                   "repro.power.compile (the plan-compiled kernel "
+                   "escape hatch)")
+
+    def check(self, ctx: ModuleContext,
+              index: ProjectIndex) -> Iterator[Finding]:
+        if ctx.module in _DYNAMIC_CODE_ALLOWED_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted in _DYNAMIC_CODE_CALLS:
+                name = dotted.rsplit(".", 1)[-1]
+                yield self.finding(
+                    ctx, node,
+                    f"{name}() injects dynamic code; only the plan "
+                    f"compiler (repro.power.compile) may generate and "
+                    f"execute source",
                 )
 
 

@@ -250,7 +250,7 @@ class GraphPowerTrain(PowerTrain):
         )
 
     def solve_graph_batch(
-        self, v_battery, loads: Dict
+        self, v_battery, loads: Dict, compiled: bool = True
     ) -> GraphSolutionBatch:
         """Batched raw graph solutions over an operating-point axis.
 
@@ -258,11 +258,19 @@ class GraphPowerTrain(PowerTrain):
         broadcast along one batch axis; the train's current gate state
         and per-component degradations apply to every point.  The scalar
         :meth:`solve_graph` stays the bit-exact reference — see
-        :data:`repro.power.graph.ULP_BUDGET`.
+        :data:`repro.power.graph.ULP_BUDGET`.  ``compiled`` is passed
+        through to :meth:`RailGraph.solve_batch`: the default runs the
+        fused plan-compiled kernel (bitwise-identical, auto-fallback),
+        ``compiled=False`` forces the interpreted walk.
         """
         if not self.radio_enabled:
             for channel in ("radio-digital", "radio-rf"):
-                if np.any(np.asarray(loads.get(channel, 0.0)) > 0.0):
+                load = loads.get(channel, 0.0)
+                if isinstance(load, (int, float)):
+                    positive = load > 0.0
+                else:
+                    positive = bool(np.any(np.asarray(load) > 0.0))
+                if positive:
                     raise ElectricalError(
                         f"{self.name}: radio load with its supplies "
                         f"gated off"
@@ -272,6 +280,7 @@ class GraphPowerTrain(PowerTrain):
             loads,
             open_gates=self._open_gates,
             degradation=self._component_degradations,
+            compiled=compiled,
         )
 
     def solve(self, v_battery: float, loads: LoadState) -> TrainSolution:

@@ -65,6 +65,23 @@ CHANNELS = ("mcu", "sensor", "radio-digital", "radio-rf")
 #: the scalar solver itself.
 ULP_BUDGET = 4
 
+_COMPILE_MODULE = None
+
+
+def _compile_module():
+    """Lazy accessor for :mod:`repro.power.compile`.
+
+    That module imports this one for the graph types, so the dependency
+    must resolve at first solve, not at import; caching the module in a
+    global keeps the per-call cost of the compiled fast path to one
+    function call.
+    """
+    global _COMPILE_MODULE
+    if _COMPILE_MODULE is None:
+        from . import compile as module
+        _COMPILE_MODULE = module
+    return _COMPILE_MODULE
+
 
 # ---------------------------------------------------------------------------
 # Component specs (frozen, serializable)
@@ -551,7 +568,12 @@ class RailGraph:
         self._component_set = frozenset(
             comp.name for comp in spec.components
         )
-        self._gate_set = frozenset(spec.gate_names())
+        self._gate_names = spec.gate_names()
+        self._gate_set = frozenset(self._gate_names)
+        # Content hash of the plan, computed lazily by the kernel
+        # compiler (repro.power.compile) and cached here; plain string,
+        # so graphs stay picklable.
+        self._kernel_plan_digest: Optional[str] = None
 
     @staticmethod
     def _build(comp):
@@ -744,6 +766,7 @@ class RailGraph:
         loads: Mapping,
         open_gates: Union[FrozenSet[str], Mapping] = frozenset(),
         degradation: Optional[Mapping] = None,
+        compiled: bool = True,
     ) -> GraphSolutionBatch:
         """Vectorized :meth:`solve` over a batch of operating points.
 
@@ -761,6 +784,13 @@ class RailGraph:
         * ``degradation`` — component name to a scalar or ``(n,)``
           multiplier.
 
+        With ``compiled=True`` (the default) the solve runs through a
+        fused straight-line kernel generated from the dispatch plan by
+        :mod:`repro.power.compile` — bitwise-identical to the
+        interpreted walk, falling back to it automatically (see that
+        module's metrics) — so callers opt *out* with
+        ``compiled=False`` rather than in.
+
         The scalar solver stays the bit-exact reference: batched results
         agree with a loop of :meth:`solve` calls within
         :data:`ULP_BUDGET` ulps per component current.  If any batch
@@ -770,6 +800,16 @@ class RailGraph:
         walk order (a scalar loop would raise for the lowest failing
         *point* instead; the error set is the same).
         """
+        if compiled:
+            # Common input shapes skip the generic prologue entirely:
+            # the specialized path declines (returns None) on anything
+            # it does not model, falling through to the full
+            # normalization below with identical error behavior.
+            result = _compile_module().solve_batch_fast(
+                self, v_source, loads, open_gates, degradation
+            )
+            if result is not None:
+                return result
         v = np.asarray(v_source, dtype=np.float64)
         if v.ndim > 1:
             raise ConfigurationError(
@@ -824,11 +864,30 @@ class RailGraph:
             load_arrays[channel] = arr
         gates = self._normalize_gates(open_gates, shape)
         factors = self._normalize_degradation(degradation, shape)
+        if compiled:
+            result = _compile_module().solve_batch_compiled(
+                self, v, load_arrays, gates, factors, shape
+            )
+            if result is not None:
+                return result
+        return self._solve_batch_interpreted(v, load_arrays, gates,
+                                             factors, shape)
+
+    def _solve_batch_interpreted(self, v, load_arrays, gates, factors,
+                                 shape) -> GraphSolutionBatch:
+        """The plan-walking batch path: the compiled kernels' reference.
+
+        The batch shape is resolved once by :meth:`solve_batch` and
+        threaded through the walk (with one shared zeros seed) instead
+        of being re-derived from every input per component.
+        """
+        zeros = np.zeros(shape)
         currents: Dict[str, np.ndarray] = {}
-        i_source = np.zeros(shape)
+        i_source = zeros
         for child in self._child_names[self.spec.source.name]:
             i_source = i_source + self._branch_batch(
-                child, v, load_arrays, gates, factors, currents, None
+                child, v, load_arrays, gates, factors, currents, None,
+                shape, zeros
             )
         return GraphSolutionBatch(
             v_source=v, i_source=i_source,
@@ -868,7 +927,7 @@ class RailGraph:
         return factors
 
     def _branch_batch(self, name, v_in, loads, gates, degradation,
-                      currents, active) -> np.ndarray:
+                      currents, active, shape, zeros) -> np.ndarray:
         gate, leak, (tag, arg) = self._plan[name]
         mask = None
         closed = False
@@ -879,7 +938,7 @@ class RailGraph:
             elif state is not True:
                 mask = state
         if closed:
-            i_in = np.full(v_in.shape, leak)
+            i_in = np.full(shape, leak)
         else:
             child_active = active
             if mask is not None:
@@ -887,19 +946,19 @@ class RailGraph:
             if tag == self._TAP:
                 i_in = loads.get(arg)
                 if i_in is None:
-                    i_in = np.zeros(v_in.shape)
+                    i_in = zeros
             elif tag == self._DRAIN:
-                i_in = np.full(v_in.shape, arg)
+                i_in = np.full(shape, arg)
             elif tag == self._SWITCH:
                 i_in = self._child_sum_batch(name, v_in, loads, gates,
                                              degradation, currents,
-                                             child_active)
+                                             child_active, shape, zeros)
             else:
                 v_out, converter = arg
-                v_rail = np.broadcast_to(np.float64(v_out), v_in.shape)
+                v_rail = np.broadcast_to(np.float64(v_out), shape)
                 i_load = self._child_sum_batch(name, v_rail, loads, gates,
                                                degradation, currents,
-                                               child_active)
+                                               child_active, shape, zeros)
                 i_in = converter.solve_batch(v_in, i_load,
                                              active=child_active)
             if mask is not None:
@@ -911,11 +970,12 @@ class RailGraph:
         return i_in
 
     def _child_sum_batch(self, name, v_rail, loads, gates, degradation,
-                         currents, active) -> np.ndarray:
-        i_load = np.zeros(v_rail.shape)
+                         currents, active, shape, zeros) -> np.ndarray:
+        i_load = zeros
         for child in self._child_names[name]:
             i_load = i_load + self._branch_batch(
-                child, v_rail, loads, gates, degradation, currents, active
+                child, v_rail, loads, gates, degradation, currents,
+                active, shape, zeros
             )
         return i_load
 

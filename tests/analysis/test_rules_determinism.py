@@ -1,6 +1,7 @@
 """Determinism rules: seeded violations and their clean twins."""
 
 from repro.analysis import (
+    DynamicCodeRule,
     UnorderedIterationRule,
     UnseededRandomRule,
     WallClockRule,
@@ -203,3 +204,73 @@ def test_set_iteration_outside_hot_paths_is_out_of_scope(lint_snippet):
         rules=[UnorderedIterationRule()],
     )
     assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# DET004: exec/eval outside the kernel compiler
+# ---------------------------------------------------------------------------
+
+
+def test_exec_in_sim_is_caught(lint_snippet):
+    findings = lint_snippet(
+        """
+        def run(snippet):
+            exec(snippet)
+        """,
+        relpath="repro/sim/engine.py",
+        rules=[DynamicCodeRule()],
+    )
+    assert rule_ids(findings) == ["DET004"]
+    assert "exec()" in findings[0].message
+
+
+def test_eval_in_core_is_caught(lint_snippet):
+    findings = lint_snippet(
+        """
+        def parse(expr):
+            return eval(expr)
+        """,
+        relpath="repro/core/policy.py",
+        rules=[DynamicCodeRule()],
+    )
+    assert rule_ids(findings) == ["DET004"]
+
+
+def test_builtins_qualified_exec_is_caught(lint_snippet):
+    findings = lint_snippet(
+        """
+        import builtins
+
+        def sneak(code):
+            builtins.exec(code)
+        """,
+        relpath="repro/runner/driver.py",
+        rules=[DynamicCodeRule()],
+    )
+    assert rule_ids(findings) == ["DET004"]
+
+
+def test_exec_in_the_kernel_compiler_is_allowed(lint_snippet):
+    findings = lint_snippet(
+        """
+        def _exec_kernel(source, namespace):
+            exec(compile(source, "<kernel>", "exec"), namespace)
+        """,
+        relpath="repro/power/compile.py",
+        rules=[DynamicCodeRule()],
+    )
+    assert findings == []
+
+
+def test_the_real_tree_has_exactly_one_exec_site():
+    """The shipped source passes DET004: ``repro.power.compile`` is the
+    only module calling exec/eval."""
+    import pathlib
+
+    import repro
+    from repro.analysis import analyze_paths
+
+    src_root = pathlib.Path(repro.__file__).parent.parent
+    findings = analyze_paths([src_root / "repro"],
+                             [DynamicCodeRule()], root=src_root)
+    assert findings == [], [f.message for f in findings]

@@ -150,6 +150,22 @@ def test_cli_train_solve_reports_no_operating_point(capsys):
     assert "no operating point" in err
 
 
+def test_cli_train_emit_kernel_prints_fused_source(capsys):
+    assert cli_main(["train", "--solve", "cots", "--emit-kernel"]) == 0
+    out = capsys.readouterr().out
+    assert "def _kernel(" in out
+    assert "gates [radio=closed]" in out
+
+
+def test_cli_train_emit_kernel_reflects_gate_state(capsys):
+    # A nonzero radio load enables the radio, so the emitted kernel is
+    # the radio-open specialization.
+    assert cli_main(["train", "--solve", "cots", "--emit-kernel",
+                     "--i-radio-rf", "4e-3"]) == 0
+    out = capsys.readouterr().out
+    assert "gates [radio=open]" in out
+
+
 def test_cli_audit_accepts_exploratory_trains(capsys):
     kind = EXPLORATORY[0]
     assert cli_main(["audit", "--hours", "0.1", "--train", kind]) == 0

@@ -1,0 +1,460 @@
+"""Plan-compiled fused kernels: bitwise identity with the interpreted
+walk, error parity, verification/fallback semantics, and the kernel
+caches (in-memory and on-disk).
+
+The contract under test (see ``repro/power/compile.py``): with
+``compiled=True`` — the default — ``RailGraph.solve_batch`` must return
+byte-identical arrays and raise identical errors to ``compiled=False``
+for every registered topology, gate state, and degradation shape; any
+divergence must fall back to the interpreted walk and be surfaced in
+:func:`repro.power.compile.kernel_metrics`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ElectricalError
+from repro.power import compile as kernel_compile
+from repro.power.compile import (
+    CACHE_DIR_ENV,
+    GATE_CLOSED,
+    GATE_MASK,
+    GATE_OPEN,
+    KernelUnsupported,
+    clear_kernel_cache,
+    compiled_kernel_for,
+    gate_signature,
+    generate_kernel_source,
+    kernel_metrics,
+    kernel_source,
+    reset_kernel_metrics,
+    solve_batch_fast,
+)
+from repro.power.graph import RailGraph
+from repro.power.rail_topologies import (
+    RADIO_GATE,
+    get_rail_spec,
+    rail_topology_names,
+)
+
+ALL_KINDS = sorted(rail_topology_names())
+
+#: Valid for every registered topology (the COTS pump's smallest gain
+#: needs v >= ~1.13 V to clear its boosted-rail threshold).
+N_POINTS = 257
+V_GRID = np.linspace(1.15, 1.40, N_POINTS)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_kernel_state():
+    """Each test compiles from scratch and leaves nothing behind."""
+    clear_kernel_cache()
+    reset_kernel_metrics()
+    yield
+    clear_kernel_cache()
+    reset_kernel_metrics()
+
+
+def _batch_loads(rng, radio=True):
+    loads = {
+        "mcu": rng.uniform(0.0, 2e-6, N_POINTS),
+        "sensor": rng.uniform(0.0, 1e-6, N_POINTS),
+    }
+    if radio:
+        # Stay under the COTS shunt's supply-minus-bias headroom.
+        loads["radio-digital"] = rng.uniform(0.0, 5e-5, N_POINTS)
+        loads["radio-rf"] = rng.uniform(0.0, 1e-3, N_POINTS)
+    return loads
+
+
+def _assert_bitwise_equal(compiled, interpreted):
+    assert compiled.i_source.tobytes() == interpreted.i_source.tobytes()
+    assert list(compiled.component_i_in) == list(interpreted.component_i_in)
+    for name in compiled.component_i_in:
+        assert (
+            np.asarray(compiled.component_i_in[name]).tobytes()
+            == np.asarray(interpreted.component_i_in[name]).tobytes()
+        ), f"component {name} diverged bitwise"
+
+
+def _gate_configs(rng):
+    mask = rng.random(N_POINTS) < 0.5
+    degradation = 1.0 + rng.random(N_POINTS) * 0.2
+    return [
+        ("closed", frozenset(), None),
+        ("open-set", frozenset({RADIO_GATE}), None),
+        ("map-true", {RADIO_GATE: True}, None),
+        ("per-point-mask", {RADIO_GATE: mask}, None),
+        ("mask-and-mixed-degradation", {RADIO_GATE: mask},
+         {"mcu-tap": 1.25, "radio-rf-tap": degradation}),
+        ("open-array-degradation", frozenset({RADIO_GATE}),
+         {"sensor-tap": degradation}),
+    ]
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_compiled_matches_interpreted_bitwise(kind):
+    """Every topology, every gate/degradation shape, repeated calls
+    (first call verifies, later calls run the kernel directly)."""
+    rng = np.random.default_rng(11)
+    graph = RailGraph(get_rail_spec(kind))
+    loads = _batch_loads(rng)
+    for label, gates, degradation in _gate_configs(rng):
+        for call in range(3):
+            compiled = graph.solve_batch(
+                V_GRID, dict(loads), open_gates=gates,
+                degradation=degradation)
+            interpreted = graph.solve_batch(
+                V_GRID, dict(loads), open_gates=gates,
+                degradation=degradation, compiled=False)
+            _assert_bitwise_equal(compiled, interpreted)
+    metrics = kernel_metrics()
+    assert metrics.mismatches == 0
+    assert metrics.kernel_solves > 0, (
+        "no call was actually served by a compiled kernel"
+    )
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_compiled_matches_interpreted_with_scalar_loads(kind):
+    """Scalar channel loads take the specialized whole-call fast path;
+    it must be bitwise-identical too."""
+    graph = RailGraph(get_rail_spec(kind))
+    loads = {"mcu": 0.7e-6, "sensor": 0.3e-6}
+    for _ in range(2):
+        compiled = graph.solve_batch(V_GRID, loads)
+        interpreted = graph.solve_batch(V_GRID, loads, compiled=False)
+        _assert_bitwise_equal(compiled, interpreted)
+    assert kernel_metrics().kernel_solves > 0
+
+
+@pytest.mark.parametrize(
+    "v_scale, loads, gates",
+    [
+        # Pump/SC input window violation: voltages far below any
+        # workable boost gain.
+        (0.6, {"mcu": 1e-6, "sensor": 1e-6}, frozenset()),
+        # LDO overload on the RF branch.
+        (1.0, {"mcu": 1e-6, "radio-rf": 0.5}, frozenset({RADIO_GATE})),
+        # Shunt starvation: digital load exceeds the series supply.
+        (1.0, {"mcu": 1e-6, "radio-digital": 5e-3},
+         frozenset({RADIO_GATE})),
+    ],
+)
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_error_parity_out_of_envelope(kind, v_scale, loads, gates):
+    """Both paths raise the identical scalar ElectricalError (same type,
+    same message — first failing component, lowest failing index)."""
+    graph = RailGraph(get_rail_spec(kind))
+    outcomes = []
+    for compiled in (True, False):
+        try:
+            result = graph.solve_batch(V_GRID * v_scale, dict(loads),
+                                       open_gates=gates,
+                                       compiled=compiled)
+            outcomes.append(("ok", result.i_source.tobytes()))
+        except ElectricalError as exc:
+            outcomes.append((type(exc).__name__, str(exc)))
+    assert outcomes[0] == outcomes[1]
+
+
+def test_masked_off_point_skips_envelope_check():
+    """A failing operating point that the per-point gate mask disables
+    must not raise — on either path — and results stay identical."""
+    graph = RailGraph(get_rail_spec("cots"))
+    mask = np.zeros(N_POINTS, dtype=bool)
+    mask[5] = True
+    radio_digital = np.zeros(N_POINTS)
+    radio_digital[7] = 5e-3  # would starve the shunt, but point 7 is off
+    loads = {"mcu": np.full(N_POINTS, 1e-6),
+             "radio-digital": radio_digital}
+    compiled = graph.solve_batch(V_GRID, loads,
+                                 open_gates={RADIO_GATE: mask})
+    interpreted = graph.solve_batch(V_GRID, loads,
+                                    open_gates={RADIO_GATE: mask},
+                                    compiled=False)
+    _assert_bitwise_equal(compiled, interpreted)
+
+
+def test_invalid_inputs_raise_identically_on_both_paths():
+    """Input validation (not envelope) errors: identical type+message
+    whether or not the compiled path is enabled."""
+    graph = RailGraph(get_rail_spec("cots"))
+    bad_inputs = [
+        # mismatched batch shapes
+        dict(loads={"mcu": np.zeros(N_POINTS + 3)}),
+        # negative load at a batch point
+        dict(loads={"mcu": np.full(N_POINTS, -1e-6)}),
+        # non-finite load
+        dict(loads={"mcu": np.full(N_POINTS, np.nan)}),
+        # unknown channel
+        dict(loads={"flux-capacitor": 1e-6}),
+        # unknown gate group
+        dict(loads={"mcu": 1e-6}, open_gates={"warp": True}),
+        # unknown degradation component
+        dict(loads={"mcu": 1e-6}, degradation={"nonesuch": 1.5}),
+    ]
+    for kwargs in bad_inputs:
+        outcomes = []
+        for compiled in (True, False):
+            try:
+                graph.solve_batch(V_GRID, compiled=compiled,
+                                  **{k: (dict(v) if isinstance(v, dict)
+                                         else v)
+                                     for k, v in kwargs.items()})
+                outcomes.append(("ok", None))
+            except ConfigurationError as exc:
+                outcomes.append((type(exc).__name__, str(exc)))
+        assert outcomes[0] == outcomes[1], f"for {kwargs}"
+        assert outcomes[0][0] == "ConfigurationError"
+
+
+def test_first_use_verification_then_direct_kernel():
+    graph = RailGraph(get_rail_spec("cots"))
+    loads = {"mcu": np.full(N_POINTS, 1e-6)}
+    graph.solve_batch(V_GRID, loads)
+    first = kernel_metrics()
+    assert first.compiles == 1
+    assert first.verifications == 1
+    assert first.kernel_solves == 1
+    graph.solve_batch(V_GRID, loads)
+    second = kernel_metrics()
+    assert second.verifications == 1  # verified once, then trusted
+    assert second.kernel_solves == 2
+
+
+def test_mismatching_kernel_falls_back_to_interpreted():
+    """A kernel whose output diverges bitwise is marked failed on first
+    use, the interpreted result is returned, and metrics record it."""
+    graph = RailGraph(get_rail_spec("cots"))
+    entry = compiled_kernel_for(graph)
+    assert not entry.failed and entry.fn is not None
+    real_fn = entry.fn
+
+    def corrupted(*args):
+        i_source, currents = real_fn(*args)
+        return i_source + 1e-12, currents
+
+    entry.fn = corrupted
+    loads = {"mcu": np.full(N_POINTS, 1e-6)}
+    compiled = graph.solve_batch(V_GRID, loads)
+    interpreted = graph.solve_batch(V_GRID, loads, compiled=False)
+    _assert_bitwise_equal(compiled, interpreted)
+    assert entry.failed
+    assert "diverged bitwise" in entry.failure
+    metrics = kernel_metrics()
+    assert metrics.mismatches == 1
+    assert metrics.kernel_solves == 0
+    # Later calls keep working (interpreted) without re-verifying.
+    again = graph.solve_batch(V_GRID, loads)
+    _assert_bitwise_equal(again, interpreted)
+
+
+def test_kernel_raising_unexpectedly_marks_failed():
+    graph = RailGraph(get_rail_spec("cots"))
+    entry = compiled_kernel_for(graph)
+
+    def explodes(*args):
+        raise RuntimeError("boom")
+
+    entry.fn = explodes
+    loads = {"mcu": np.full(N_POINTS, 1e-6)}
+    compiled = graph.solve_batch(V_GRID, loads)
+    interpreted = graph.solve_batch(V_GRID, loads, compiled=False)
+    _assert_bitwise_equal(compiled, interpreted)
+    assert entry.failed
+    assert kernel_metrics().mismatches == 1
+
+
+def test_disabled_converter_routes_to_interpreter():
+    graph = RailGraph(get_rail_spec("cots"))
+    loads = {"mcu": np.full(N_POINTS, 1e-6)}
+    graph.solve_batch(V_GRID, loads)  # warm the kernel
+    baseline = kernel_metrics().kernel_solves
+    converter = next(iter(graph._converters.values()))
+    converter.disable()
+    try:
+        compiled = graph.solve_batch(V_GRID, loads)
+        interpreted = graph.solve_batch(V_GRID, loads, compiled=False)
+        _assert_bitwise_equal(compiled, interpreted)
+        assert kernel_metrics().kernel_solves == baseline
+        assert kernel_metrics().fallbacks >= 1
+    finally:
+        converter.enable()
+    # Re-enabled: the kernel serves again.
+    graph.solve_batch(V_GRID, loads)
+    assert kernel_metrics().kernel_solves == baseline + 1
+
+
+def test_compiled_false_never_touches_kernels():
+    graph = RailGraph(get_rail_spec("cots"))
+    graph.solve_batch(V_GRID, {"mcu": 1e-6}, compiled=False)
+    metrics = kernel_metrics()
+    assert metrics.compiles == 0
+    assert metrics.kernel_solves == 0
+
+
+def test_gate_signature_resolves_states():
+    graph = RailGraph(get_rail_spec("cots"))
+    mask = np.zeros(N_POINTS, dtype=bool)
+    assert gate_signature(graph, {}) == ((RADIO_GATE, GATE_CLOSED),)
+    assert gate_signature(graph, {RADIO_GATE: True}) == (
+        (RADIO_GATE, GATE_OPEN),)
+    assert gate_signature(graph, {RADIO_GATE: mask}) == (
+        (RADIO_GATE, GATE_MASK),)
+
+
+def test_kernel_source_is_deterministic_across_instances():
+    first = kernel_source(RailGraph(get_rail_spec("cots")),
+                          frozenset({RADIO_GATE}))
+    second = kernel_source(RailGraph(get_rail_spec("cots")),
+                           frozenset({RADIO_GATE}))
+    assert first == second
+    assert "def _kernel(" in first
+    assert "exec" not in first
+
+
+def test_one_kernel_per_signature_shared_across_equal_graphs():
+    a = RailGraph(get_rail_spec("cots"))
+    b = RailGraph(get_rail_spec("cots"))
+    loads = {"mcu": np.full(N_POINTS, 1e-6)}
+    a.solve_batch(V_GRID, loads)
+    b.solve_batch(V_GRID, loads)
+    metrics = kernel_metrics()
+    assert metrics.compiles == 1, (
+        "equal specs must share one cached kernel per gate signature"
+    )
+
+
+def test_unsupported_converter_type_reports_and_falls_back():
+    class Mystery:
+        enabled = True
+
+    graph = RailGraph(get_rail_spec("cots"))
+    name, converter = next(iter(graph._converters.items()))
+    signature = gate_signature(graph, {})
+    original = graph._plan[name]
+    gate, leak, (tag, (v_out, _conv)) = original
+    graph._plan[name] = (gate, leak, (tag, (v_out, Mystery())))
+    try:
+        with pytest.raises(KernelUnsupported):
+            generate_kernel_source(graph, signature)
+        # And through the caching layer: a failed entry, not a crash.
+        entry = compiled_kernel_for(graph)
+        assert entry.failed
+        assert "no fused emitter" in entry.failure
+        assert kernel_metrics().unsupported >= 1
+    finally:
+        graph._plan[name] = original
+
+
+def test_fast_path_declines_exotic_inputs_but_results_match():
+    """List loads, float32 axes, 2-D axes: the whole-call fast path must
+    decline (returning None) and the generic path still answers or
+    raises exactly as before."""
+    graph = RailGraph(get_rail_spec("cots"))
+    v32 = V_GRID.astype(np.float32)
+    assert solve_batch_fast(graph, v32, {"mcu": 1e-6},
+                            frozenset(), None) is None
+    assert solve_batch_fast(graph, V_GRID, {"mcu": [1e-6] * N_POINTS},
+                            frozenset(), None) is None
+    assert solve_batch_fast(graph, V_GRID, {"mcu": 1e-6},
+                            {"radio": object()}, None) is None
+    # The public entry point still solves them (list loads broadcast).
+    compiled = graph.solve_batch(V_GRID, {"mcu": [1e-6] * N_POINTS})
+    interpreted = graph.solve_batch(V_GRID, {"mcu": [1e-6] * N_POINTS},
+                                    compiled=False)
+    _assert_bitwise_equal(compiled, interpreted)
+
+
+def test_scalar_voltage_still_works_compiled():
+    graph = RailGraph(get_rail_spec("cots"))
+    compiled = graph.solve_batch(1.3, {"mcu": 1e-6})
+    interpreted = graph.solve_batch(1.3, {"mcu": 1e-6}, compiled=False)
+    _assert_bitwise_equal(compiled, interpreted)
+
+
+def test_empty_batch_compiled():
+    graph = RailGraph(get_rail_spec("cots"))
+    empty = np.zeros(0)
+    compiled = graph.solve_batch(empty, {"mcu": 1e-6})
+    interpreted = graph.solve_batch(empty, {"mcu": 1e-6}, compiled=False)
+    assert compiled.i_source.shape == (0,)
+    _assert_bitwise_equal(compiled, interpreted)
+
+
+def test_clear_kernel_cache_forces_recompile():
+    graph = RailGraph(get_rail_spec("cots"))
+    loads = {"mcu": np.full(N_POINTS, 1e-6)}
+    graph.solve_batch(V_GRID, loads)
+    assert kernel_metrics().compiles == 1
+    clear_kernel_cache()
+    graph.solve_batch(V_GRID, loads)
+    assert kernel_metrics().compiles == 2
+
+
+# ---------------------------------------------------------------------------
+# On-disk source cache
+# ---------------------------------------------------------------------------
+
+
+def test_disk_cache_cold_writes_then_warm_loads(tmp_path, monkeypatch):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+    loads = {"mcu": np.full(N_POINTS, 1e-6)}
+
+    cold = RailGraph(get_rail_spec("cots"))
+    cold_result = cold.solve_batch(V_GRID, loads)
+    artifacts = sorted(tmp_path.glob("railgraph-kernel-v*.py"))
+    assert len(artifacts) == 1
+    assert kernel_metrics().disk_loads == 0
+
+    # A "new process": drop the in-memory cache, keep the disk.
+    clear_kernel_cache()
+    reset_kernel_metrics()
+    warm = RailGraph(get_rail_spec("cots"))
+    warm_result = warm.solve_batch(V_GRID, loads)
+    metrics = kernel_metrics()
+    assert metrics.disk_loads == 1
+    assert metrics.mismatches == 0
+    _assert_bitwise_equal(warm_result, cold_result)
+
+
+def test_corrupt_disk_artifact_is_regenerated(tmp_path, monkeypatch):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+    loads = {"mcu": np.full(N_POINTS, 1e-6)}
+    RailGraph(get_rail_spec("cots")).solve_batch(V_GRID, loads)
+    (artifact,) = tmp_path.glob("railgraph-kernel-v*.py")
+    artifact.write_text("this is ] not python")
+
+    clear_kernel_cache()
+    reset_kernel_metrics()
+    graph = RailGraph(get_rail_spec("cots"))
+    compiled = graph.solve_batch(V_GRID, loads)
+    interpreted = graph.solve_batch(V_GRID, loads, compiled=False)
+    _assert_bitwise_equal(compiled, interpreted)
+    metrics = kernel_metrics()
+    assert metrics.disk_loads == 0  # corrupt artifact was not trusted
+    assert metrics.mismatches == 0
+
+
+def test_stale_disk_artifact_wrong_results_caught_by_verification(
+        tmp_path, monkeypatch):
+    """A syntactically-valid but wrong artifact (e.g. hash collision or
+    hand-edited file) is caught by first-use bitwise verification."""
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+    loads = {"mcu": np.full(N_POINTS, 1e-6)}
+    RailGraph(get_rail_spec("cots")).solve_batch(V_GRID, loads)
+    (artifact,) = tmp_path.glob("railgraph-kernel-v*.py")
+    source = artifact.read_text()
+    artifact.write_text(source.replace(
+        "return _i_src", "return _i_src + 1.0"))
+
+    clear_kernel_cache()
+    reset_kernel_metrics()
+    graph = RailGraph(get_rail_spec("cots"))
+    compiled = graph.solve_batch(V_GRID, loads)
+    interpreted = graph.solve_batch(V_GRID, loads, compiled=False)
+    _assert_bitwise_equal(compiled, interpreted)
+    metrics = kernel_metrics()
+    assert metrics.mismatches == 1
+    assert metrics.kernel_solves == 0

@@ -7,6 +7,8 @@ these tests pin :meth:`RailGraph.solve_batch` to it within the
 documented :data:`repro.power.graph.ULP_BUDGET`.
 """
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -256,6 +258,25 @@ def test_mismatched_batch_shapes_rejected():
                           {"mcu": np.array([1e-6, 1e-6, 1e-6])})
 
 
+@pytest.mark.parametrize("compiled", [True, False])
+def test_mismatched_shapes_raise_same_error_on_both_paths(compiled):
+    """Regression for the batch-shape hoist + compiled fast path: shape
+    validation happens once up front, and the error is identical whether
+    the compiled kernel path is enabled or not."""
+    graph = RailGraph(get_rail_spec("cots"))
+    with pytest.raises(ConfigurationError) as excinfo:
+        graph.solve_batch(np.array([1.2, 1.25]),
+                          {"mcu": np.array([1e-6, 1e-6, 1e-6])},
+                          compiled=compiled)
+    assert "do not broadcast" in str(excinfo.value)
+    # Both paths must agree on the full message, not just the prefix.
+    with pytest.raises(ConfigurationError) as other:
+        graph.solve_batch(np.array([1.2, 1.25]),
+                          {"mcu": np.array([1e-6, 1e-6, 1e-6])},
+                          compiled=not compiled)
+    assert str(excinfo.value) == str(other.value)
+
+
 def test_2d_batch_inputs_rejected():
     graph = RailGraph(get_rail_spec("cots"))
     with pytest.raises(ConfigurationError, match="1-D"):
@@ -309,6 +330,37 @@ def test_point_extracts_a_scalar_solution():
     assert point.component_i_in["tps60313"] == float(
         batch.component_i_in["tps60313"][3]
     )
+
+
+def test_point_supports_negative_indices():
+    graph = RailGraph(get_rail_spec("cots"))
+    batch = graph.solve_batch(V_GRID, SLEEP_LOADS)
+    last = batch.point(-1)
+    assert last.v_source == float(V_GRID[-1])
+    assert last.i_source == float(batch.i_source[-1])
+    assert batch.point(-len(batch)).v_source == float(V_GRID[0])
+
+
+def test_point_out_of_range_raises_index_error():
+    graph = RailGraph(get_rail_spec("cots"))
+    batch = graph.solve_batch(V_GRID, SLEEP_LOADS)
+    with pytest.raises(IndexError):
+        batch.point(len(batch))
+    with pytest.raises(IndexError):
+        batch.point(-len(batch) - 1)
+
+
+def test_point_solution_is_immutable():
+    graph = RailGraph(get_rail_spec("cots"))
+    batch = graph.solve_batch(V_GRID, SLEEP_LOADS)
+    point = batch.point(0)
+    assert isinstance(point.component_i_in, FrozenMapping)
+    with pytest.raises(TypeError):
+        point.component_i_in["tps60313"] = 0.0
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        point.i_source = 0.0
+    # Extracting a point must not have mutated the batch arrays.
+    assert batch.i_source[0] == point.i_source
 
 
 def test_p_source_is_elementwise_product():

@@ -13,11 +13,15 @@ Usage::
     python tools/bench_baseline.py                  # record BENCH_<sha>.json
     python tools/bench_baseline.py --check benchmarks/BENCH_baseline.json
     python tools/bench_baseline.py --all --out-dir /tmp
+    python tools/bench_baseline.py --diff BENCH_a.json BENCH_b.json
 
 Comparisons use each benchmark's *minimum* observed round time — the
 statistic least sensitive to scheduler noise — and only benchmarks
 present in both runs gate the check, so adding a benchmark never breaks
-an old baseline.
+an old baseline.  Reports embed the python/numpy/platform versions so a
+cross-machine trajectory stays interpretable; ``--diff`` compares two
+recorded reports (printing per-benchmark ratios and any environment
+skew) without running anything.
 """
 
 from __future__ import annotations
@@ -97,13 +101,27 @@ def distil(raw) -> Dict[str, Dict[str, float]]:
     return table
 
 
+def environment_metadata() -> Dict[str, str]:
+    """Interpreter/library/host fingerprint embedded in every report."""
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = "unavailable"
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "machine": platform.machine(),
+        "platform": platform.platform(),
+    }
+
+
 def write_report(table, out_dir: str) -> str:
     sha = git_short_sha()
     report = {
-        "schema": 1,
+        "schema": 2,
         "sha": sha,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        **environment_metadata(),
         "benchmarks": table,
     }
     path = os.path.join(out_dir, f"BENCH_{sha}.json")
@@ -143,6 +161,37 @@ def check(table, baseline_path: str, ratio: float) -> int:
     return 0
 
 
+def diff(path_a: str, path_b: str) -> int:
+    """Compare two recorded reports: per-benchmark B/A ratios plus any
+    environment skew (cross-machine numbers are only comparable when the
+    python/numpy/platform rows match)."""
+    with open(path_a) as handle:
+        a = json.load(handle)
+    with open(path_b) as handle:
+        b = json.load(handle)
+    print(f"A: {path_a} (sha {a.get('sha', '?')})")
+    print(f"B: {path_b} (sha {b.get('sha', '?')})")
+    for field in ("python", "numpy", "machine", "platform"):
+        va, vb = a.get(field, "?"), b.get(field, "?")
+        marker = "" if va == vb else "   <-- differs"
+        print(f"  {field:<9} A={va}  B={vb}{marker}")
+    bench_a, bench_b = a["benchmarks"], b["benchmarks"]
+    shared = sorted(set(bench_a) & set(bench_b))
+    if not shared:
+        print("error: no benchmarks in common", file=sys.stderr)
+        return 2
+    print(f"\n{'benchmark':<70} {'A':>8} {'B':>8} {'B/A':>6}")
+    for name in shared:
+        base = bench_a[name]["min_s"]
+        now = bench_b[name]["min_s"]
+        rel = now / base if base > 0 else float("inf")
+        print(f"{name:<70} {base:7.3f}s {now:7.3f}s {rel:5.2f}x")
+    for name in sorted(set(bench_a) ^ set(bench_b)):
+        side = "A" if name in bench_a else "B"
+        print(f"{name:<70} (only in {side})")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--all", action="store_true",
@@ -151,6 +200,9 @@ def main(argv=None) -> int:
     parser.add_argument("--check", metavar="BASELINE",
                         help="compare against a recorded BENCH_*.json and "
                              "exit 1 on regression instead of writing a file")
+    parser.add_argument("--diff", nargs=2, metavar=("A.json", "B.json"),
+                        help="print per-benchmark B/A ratios between two "
+                             "recorded reports (no benchmarks are run)")
     parser.add_argument("--ratio", type=float, default=2.0,
                         help="max allowed slowdown vs baseline (default 2.0)")
     parser.add_argument("--out-dir", default=REPO_ROOT,
@@ -159,6 +211,9 @@ def main(argv=None) -> int:
                         help="extra arguments forwarded to pytest "
                              "(e.g. -k year_scale)")
     args = parser.parse_args(argv)
+
+    if args.diff:
+        return diff(*args.diff)
 
     targets = ["benchmarks/"] if args.all else list(DEFAULT_TARGETS)
     table = distil(run_benchmarks(targets, args.pytest_args))
