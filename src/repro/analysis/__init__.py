@@ -9,6 +9,11 @@ AST level, before a simulation ever runs:
 
 - **Unit rules** (``UNIT001``–``UNIT003``): suffix-mismatched argument
   bindings, mixed-dimension ``+``/``-``, and bare ``1e-…`` SI literals.
+- **Flow unit rules** (``UNIT004``–``UNIT005``): the flow-sensitive
+  tier — an abstract interpreter (:mod:`repro.analysis.flow`)
+  propagates dimensions through assignments, field access, and calls,
+  catching conflicts one or more hops from where a value was born, and
+  functions whose unit-suffixed name disagrees with what they return.
 - **Determinism rules** (``DET001``–``DET004``): unseeded ``random.*``
   draws, wall-clock reads inside ``repro.sim``/``repro.core``, unsorted
   set iteration in the replay hot paths, and ``exec``/``eval`` anywhere
@@ -17,9 +22,18 @@ AST level, before a simulation ever runs:
   dataclasses, missing ``__slots__`` on registered hot-path classes,
   mutable default arguments, and rail-graph topology specs that are
   not frozen dataclasses.
+- **Parity rules** (``VEC001``–``VEC002``): scalar↔batch mirrors —
+  every ``solve``/``solve_batch`` pair is normalized to canonical
+  op-trees and compared, and ``PARITY_MIRRORS`` markers tie the cohort
+  engine's elementwise mirrors to the scalar functions they replay.
+- **Kernel rules** (``KER001``–``KER002``): the code the compiler
+  *writes* — every registered topology × gate signature is emitted via
+  ``iter_registered_kernel_sources`` and audited for structural and
+  hygiene invariants (``repro lint --kernels``).
 
 Run it as ``python -m repro lint [--json] [--baseline PATH]
-[--update-baseline] [paths…]``; see ``docs/LINTING.md`` for the rule
+[--update-baseline] [--no-flow] [--kernels] [--changed [REF]]
+[--check-baseline] [paths…]``; see ``docs/LINTING.md`` for the rule
 catalogue and the baseline workflow.
 """
 
@@ -30,6 +44,7 @@ from .driver import (
     ProjectIndex,
     Rule,
     analyze_paths,
+    finalize_findings,
     iter_python_files,
 )
 from .findings import SEVERITY_ERROR, SEVERITY_WARNING, Finding
@@ -47,6 +62,14 @@ from .rules_determinism import (
     UnseededRandomRule,
     WallClockRule,
 )
+from .rules_flow_units import UnitFlowMismatchRule, UnitReturnMismatchRule
+from .rules_kernels import (
+    KernelHygieneRule,
+    KernelStructureRule,
+    audit_kernel_source,
+    audit_registered_kernels,
+)
+from .rules_parity import MirrorConstantParityRule, ScalarBatchParityRule
 from .rules_units import (
     UnitBareSiLiteralRule,
     UnitBindingMismatchRule,
@@ -54,9 +77,16 @@ from .rules_units import (
 )
 
 
-def default_rules():
-    """Fresh instances of every registered rule, in report order."""
-    return [
+def default_rules(*, flow: bool = True):
+    """Fresh instances of every registered rule, in report order.
+
+    ``flow=False`` drops the flow-sensitive tier (UNIT004/UNIT005) —
+    the ``--no-flow`` escape hatch for quick editor runs.  The kernel
+    rules are always in the list but carry a synthetic module prefix no
+    real file matches; they fire only through the ``--kernels`` audit
+    entry point (:func:`audit_registered_kernels`).
+    """
+    rules = [
         UnitBindingMismatchRule(),
         UnitMixedArithmeticRule(),
         UnitBareSiLiteralRule(),
@@ -68,12 +98,22 @@ def default_rules():
         MissingSlotsRule(),
         MutableDefaultRule(),
         UnfrozenRailSpecRule(),
+        ScalarBatchParityRule(),
+        MirrorConstantParityRule(),
+        KernelStructureRule(),
+        KernelHygieneRule(),
     ]
+    if flow:
+        rules[3:3] = [UnitFlowMismatchRule(), UnitReturnMismatchRule()]
+    return rules
 
 
 __all__ = [
     "DynamicCodeRule",
     "Finding",
+    "KernelHygieneRule",
+    "KernelStructureRule",
+    "MirrorConstantParityRule",
     "MissingSlotsRule",
     "ModuleContext",
     "MutableDefaultRule",
@@ -83,17 +123,23 @@ __all__ = [
     "SEVERITY_WARNING",
     "SLOTS_REGISTRY",
     "SUFFIX_DIMENSIONS",
+    "ScalarBatchParityRule",
     "UnfrozenFaultEventRule",
     "UnfrozenRailSpecRule",
     "UnitBareSiLiteralRule",
     "UnitBindingMismatchRule",
+    "UnitFlowMismatchRule",
     "UnitMixedArithmeticRule",
+    "UnitReturnMismatchRule",
     "UnorderedIterationRule",
     "UnseededRandomRule",
     "WallClockRule",
     "analyze_paths",
+    "audit_kernel_source",
+    "audit_registered_kernels",
     "default_rules",
     "dimension_of_name",
+    "finalize_findings",
     "iter_python_files",
     "load_baseline",
     "render_json",

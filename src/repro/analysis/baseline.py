@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from .findings import Finding
 
@@ -22,15 +22,37 @@ BASELINE_VERSION = 1
 
 def load_baseline(path: pathlib.Path) -> Set[str]:
     """Fingerprints recorded in ``path`` (empty set if absent)."""
+    return {entry["fingerprint"]
+            for entry in load_baseline_entries(path)}
+
+
+def load_baseline_entries(path: pathlib.Path) -> List[Dict[str, str]]:
+    """Full baseline entries (fingerprint/rule/path/snippet/reason)."""
     if not path.is_file():
-        return set()
+        return []
     data = json.loads(path.read_text(encoding="utf-8"))
     if data.get("version") != BASELINE_VERSION:
         raise ValueError(
             f"unsupported baseline version {data.get('version')!r} "
             f"in {path}"
         )
-    return {entry["fingerprint"] for entry in data.get("findings", [])}
+    return list(data.get("findings", []))
+
+
+def stale_baseline_entries(
+        path: pathlib.Path,
+        findings: Iterable[Finding]) -> List[Dict[str, str]]:
+    """Baseline entries whose finding no longer exists.
+
+    A stale entry is accepted debt that has already been paid off — the
+    offending line was fixed or deleted — but the suppression is still
+    committed, where it would silently swallow a future regression at
+    the same (rule, file, line-text).  ``repro lint --check-baseline``
+    fails CI on these so the baseline can only shrink honestly.
+    """
+    live = {finding.fingerprint for finding in findings}
+    return [entry for entry in load_baseline_entries(path)
+            if entry["fingerprint"] not in live]
 
 
 def write_baseline(path: pathlib.Path,

@@ -19,9 +19,18 @@ import ast
 import dataclasses
 import os
 import pathlib
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from .dimensions import dimension_of_name
+from .dimensions import dimension_of_expr, dimension_of_name
 from .findings import SEVERITY_ERROR, Finding
 
 
@@ -88,9 +97,50 @@ class FunctionInfo:
 
     params: Tuple[str, ...]
     module: str
+    #: Dimension every ``return`` of the function agrees on (inferred
+    #: suffix-level from the return expressions), else ``None``.
+    return_dimension: Optional[str] = None
 
     def dimension_signature(self) -> Tuple[Optional[str], ...]:
         return tuple(dimension_of_name(p) for p in self.params)
+
+
+def _return_dimension(ctx: ModuleContext,
+                      func: ast.AST) -> Optional[str]:
+    """The one dimension every return expression carries, or ``None``."""
+    dims = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and node.value is not None:
+            dims.add(dimension_of_expr(ctx.source, node.value))
+    if len(dims) == 1:
+        return dims.pop()
+    return None
+
+
+#: Either def-statement node type, as one alias.
+FunctionDefNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def iter_function_defs(
+        tree: ast.Module) -> Iterator[Tuple[str, FunctionDefNode]]:
+    """Every (qualified name, def node) in a module, class-prefixed.
+
+    Qualified names are dotted through enclosing classes and functions
+    (``Class.method``, ``outer.inner``) — the key format
+    :attr:`ProjectIndex.qualified` uses.
+    """
+    def visit(node: ast.AST,
+              prefix: str) -> Iterator[Tuple[str, FunctionDefNode]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                yield qualname, child
+                yield from visit(child, qualname + ".")
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.")
+            else:
+                yield from visit(child, prefix)
+    yield from visit(tree, "")
 
 
 class ProjectIndex:
@@ -101,29 +151,45 @@ class ProjectIndex:
     file set agrees on its parameter dimension signature; names whose
     definitions disagree are mapped to ``None`` so call-site rules stay
     silent rather than guess.
+
+    ``modules`` maps a dotted module name to its :class:`ModuleContext`,
+    and ``qualified`` maps ``"module:Class.method"`` keys to the def
+    node — the cross-module resolution the parity rules (VEC002) use to
+    find a mirror's scalar reference.
     """
 
     def __init__(self) -> None:
         self.functions: Dict[str, Optional[FunctionInfo]] = {}
+        self.modules: Dict[str, ModuleContext] = {}
+        self.qualified: Dict[str, FunctionDefNode] = {}
 
     def add_module(self, ctx: ModuleContext) -> None:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
+        self.modules[ctx.module] = ctx
+        for qualname, node in iter_function_defs(ctx.tree):
+            self.qualified[f"{ctx.module}:{qualname}"] = node
             params = [a.arg for a in node.args.posonlyargs + node.args.args]
             if params and params[0] in ("self", "cls"):
                 params = params[1:]
-            info = FunctionInfo(params=tuple(params), module=ctx.module)
+            info = FunctionInfo(params=tuple(params), module=ctx.module,
+                                return_dimension=_return_dimension(ctx, node))
             existing = self.functions.get(node.name, _MISSING)
             if existing is _MISSING:
                 self.functions[node.name] = info
-            elif (existing is None
-                  or existing.dimension_signature()
+            elif existing is None:
+                pass
+            elif (existing.dimension_signature()
                   != info.dimension_signature()):
                 self.functions[node.name] = None
+            elif existing.return_dimension != info.return_dimension:
+                existing.return_dimension = None
 
     def lookup(self, name: str) -> Optional[FunctionInfo]:
         return self.functions.get(name)
+
+    def lookup_qualified(self, module: str,
+                         qualname: str) -> Optional[FunctionDefNode]:
+        """The def node for ``module:qualname``, or ``None``."""
+        return self.qualified.get(f"{module}:{qualname}")
 
 
 _MISSING = object()
@@ -181,6 +247,17 @@ def load_context(path: pathlib.Path,
     ), None
 
 
+def finalize_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Deduplicate and order findings deterministically.
+
+    Identical findings collapse to one (overlapping path arguments and
+    merged parallel-driver shards both produce duplicates), and the
+    survivors sort by ``(path, line, col, severity, rule)`` so report
+    output is byte-stable regardless of rule or worker order.
+    """
+    return sorted(dict.fromkeys(findings), key=Finding.sort_key)
+
+
 def analyze_paths(paths: Sequence[pathlib.Path],
                   rules: Iterable[Rule],
                   root: Optional[pathlib.Path] = None) -> List[Finding]:
@@ -201,4 +278,4 @@ def analyze_paths(paths: Sequence[pathlib.Path],
         for rule in rules:
             if rule.applies_to(ctx):
                 findings.extend(rule.check(ctx, index))
-    return sorted(findings, key=Finding.sort_key)
+    return finalize_findings(findings)

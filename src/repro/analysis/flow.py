@@ -1,0 +1,544 @@
+"""Flow-sensitive intraprocedural dimension analysis.
+
+The PR 4 unit rules are AST-local: ``drop_v + load_a`` is caught, but
+``p = v_in * i_out`` followed three lines later by ``total_a + p`` is
+invisible — the dimension travels through an assignment hop the
+per-statement rules cannot see.  This module closes that gap with a
+small abstract interpreter: one pass per function, statement order,
+propagating SI-dimension lattice values (see
+:mod:`repro.analysis.dimensions`) through
+
+- plain, annotated, and augmented assignments (including tuple
+  unpacking against tuple values),
+- attribute chains (``self.bias_v``) and string-keyed subscripts
+  (``loads["radio_a"]``) as structured *paths*,
+- products and ratios via the ``PRODUCT_DIMENSIONS`` /
+  ``RATIO_DIMENSIONS`` tables (``voltage * current -> power``),
+- calls resolved through the cross-module :class:`ProjectIndex`
+  (a call to a function whose returns all carry one dimension yields
+  that dimension at the call site), and
+- dimension-preserving builtins (``max``/``abs``/``np.maximum``/
+  ``np.where``…).
+
+Everything stays conservative in the PR 4 tradition: a value only has
+a dimension when the analysis *knows* it, branches merge
+agree-or-unknown, loop bodies are analyzed against a widened
+environment (every name the loop reassigns is forgotten first), and
+problems are reported only on known-known conflicts.  The engine also
+separates *flow-derived* problems from ones the AST-local rules
+already see, so UNIT004 never duplicates a UNIT001/UNIT002 finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .dimensions import (
+    combine,
+    dimension_of_expr,
+    dimension_of_name,
+    divide_dimensions,
+    multiply_dimensions,
+)
+from .driver import FunctionDefNode, ModuleContext, ProjectIndex
+
+#: A structured l-value: ``("x",)``, ``("self", "bias_v")``,
+#: ``("loads", "[radio_a]")``.
+Path = Tuple[str, ...]
+
+#: Callables that return the common dimension of their value arguments.
+#: Keyed by simple name, so both ``max(...)`` and ``np.maximum(...)``
+#: resolve; ``where``/``full`` skip their condition/shape argument.
+_PRESERVING_CALLS = {
+    "max": 0, "min": 0, "abs": 0, "float": 0,
+    "maximum": 0, "minimum": 0, "clip": 0, "asarray": 0,
+    "where": 1, "full": 1, "full_like": 1,
+}
+
+_SCOPED_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                 ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+def path_of(node: ast.AST) -> Optional[Path]:
+    """The environment path of an l-value expression, or ``None``."""
+    if isinstance(node, ast.Name):
+        return (node.id,)
+    if isinstance(node, ast.Attribute):
+        base = path_of(node.value)
+        return base + (node.attr,) if base else None
+    if isinstance(node, ast.Subscript):
+        base = path_of(node.value)
+        key = node.slice
+        if (base and isinstance(key, ast.Constant)
+                and isinstance(key.value, str)):
+            return base + (f"[{key.value}]",)
+        return None
+    return None
+
+
+def _path_label(path: Path) -> str:
+    """The suffix-bearing token of a path (``"[key]"`` unwrapped)."""
+    label = path[-1]
+    if label.startswith("[") and label.endswith("]"):
+        label = label[1:-1]
+    return label
+
+
+@dataclasses.dataclass
+class FlowProblem:
+    """One dimension conflict visible only through dataflow."""
+
+    node: ast.AST
+    message: str
+
+
+@dataclasses.dataclass
+class FlowReturn:
+    """One ``return expr`` with the expression's flow-derived dimension."""
+
+    node: ast.Return
+    dimension: Optional[str]
+
+
+@dataclasses.dataclass
+class FunctionFlow:
+    """The per-function analysis result the flow rules consume."""
+
+    func: FunctionDefNode
+    problems: List[FlowProblem]
+    returns: List[FlowReturn]
+
+
+def analyze_function(func: FunctionDefNode, ctx: ModuleContext,
+                     index: ProjectIndex) -> FunctionFlow:
+    """Run the abstract interpreter over one function body."""
+    interp = _Interpreter(ctx, index)
+    interp.block(func.body)
+    return FunctionFlow(func=func, problems=interp.problems,
+                        returns=interp.returns)
+
+
+def iter_module_functions(
+        ctx: ModuleContext,
+        index: ProjectIndex) -> Iterator[FunctionFlow]:
+    """Analyze every function defined in a module (nested defs too)."""
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield analyze_function(node, ctx, index)
+
+
+class _Interpreter:
+    """Statement-ordered abstract interpretation of one function."""
+
+    def __init__(self, ctx: ModuleContext, index: ProjectIndex) -> None:
+        self.ctx = ctx
+        self.index = index
+        self.env: Dict[Path, str] = {}
+        self.problems: List[FlowProblem] = []
+        self.returns: List[FlowReturn] = []
+
+    # -- environment ------------------------------------------------------
+
+    def _forget(self, path: Path) -> None:
+        """Drop a path and everything reachable through it."""
+        self.env.pop(path, None)
+        for key in [k for k in self.env if k[:len(path)] == path]:
+            del self.env[key]
+
+    def _set(self, path: Path, dim: Optional[str]) -> None:
+        self._forget(path)
+        if dim is not None:
+            self.env[path] = dim
+
+    def _merge(self, *branches: Dict[Path, str]) -> None:
+        """Keep only the facts every branch agrees on."""
+        merged: Dict[Path, str] = {}
+        first = branches[0]
+        for path, dim in first.items():
+            if all(other.get(path) == dim for other in branches[1:]):
+                merged[path] = dim
+        self.env = merged
+
+    def _widen(self, stmts: Sequence[ast.stmt]) -> None:
+        """Forget every path the statements may assign (loop entry)."""
+        for path in _assigned_paths(stmts):
+            self._forget(path)
+
+    # -- expression dimension ---------------------------------------------
+
+    def infer(self, node: ast.AST,
+              shadowed: AbstractSet[str] = frozenset()) -> Optional[str]:
+        """Flow-aware dimension of an expression, or ``None``."""
+        path = path_of(node)
+        if path is not None and path[0] not in shadowed:
+            known = self.env.get(path)
+            if known is not None:
+                return known
+        if isinstance(node, ast.Name):
+            return dimension_of_name(node.id)
+        if isinstance(node, ast.Attribute):
+            return dimension_of_name(node.attr)
+        if isinstance(node, ast.Subscript):
+            key = node.slice
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                key_dim = dimension_of_name(key.value)
+                if key_dim is not None:
+                    return key_dim
+            return self.infer(node.value, shadowed)
+        if isinstance(node, ast.UnaryOp):
+            return self.infer(node.operand, shadowed)
+        if isinstance(node, ast.IfExp):
+            body = self.infer(node.body, shadowed)
+            orelse = self.infer(node.orelse, shadowed)
+            return body if body == orelse else None
+        if isinstance(node, ast.BinOp):
+            left = self.infer(node.left, shadowed)
+            right = self.infer(node.right, shadowed)
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                dim, _problem = combine(node.op, left, right)
+                return dim
+            if isinstance(node.op, ast.Mult):
+                if _is_scalar_constant(node.left):
+                    return right
+                if _is_scalar_constant(node.right):
+                    return left
+                return multiply_dimensions(left, right)
+            if isinstance(node.op, ast.Div):
+                if _is_scalar_constant(node.right):
+                    return left
+                if left is not None and left == right:
+                    return None  # dimensionless ratio
+                return divide_dimensions(left, right)
+            return None
+        if isinstance(node, ast.Call):
+            return self._infer_call(node, shadowed)
+        return None
+
+    def _infer_call(self, node: ast.Call,
+                    shadowed: AbstractSet[str]) -> Optional[str]:
+        name = _callee_name(node.func)
+        if name is None:
+            return None
+        skip = _PRESERVING_CALLS.get(name)
+        if skip is not None:
+            dims = {self.infer(arg, shadowed)
+                    for arg in node.args[skip:]
+                    if not _is_scalar_constant(arg)}
+            dims.discard(None)
+            if len(dims) == 1:
+                return dims.pop()
+            return None
+        named = dimension_of_name(name)
+        if named is not None:
+            return named
+        info = self.index.lookup(name)
+        if info is not None:
+            return info.return_dimension
+        return None
+
+    # -- statement walk ---------------------------------------------------
+
+    def block(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.statement(stmt)
+
+    def statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested defs are analyzed on their own
+        if isinstance(stmt, ast.Assign):
+            self.check_expr(stmt.value)
+            dim = self.infer(stmt.value)
+            for target in stmt.targets:
+                self.bind(target, stmt.value, dim)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.check_expr(stmt.value)
+                self.bind(stmt.target, stmt.value,
+                          self.infer(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            self.check_expr(stmt.value)
+            self.aug_assign(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.check_expr(stmt.value)
+                self.returns.append(
+                    FlowReturn(node=stmt, dimension=self.infer(stmt.value)))
+            else:
+                self.returns.append(FlowReturn(node=stmt, dimension=None))
+        elif isinstance(stmt, ast.If):
+            self.check_expr(stmt.test)
+            entry = dict(self.env)
+            self.block(stmt.body)
+            taken = self.env
+            self.env = dict(entry)
+            self.block(stmt.orelse)
+            self._merge(taken, self.env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.check_expr(stmt.iter)
+            self._widen([stmt])
+            self.block(stmt.body)
+            self.block(stmt.orelse)
+            self._widen([stmt])
+        elif isinstance(stmt, ast.While):
+            self.check_expr(stmt.test)
+            self._widen([stmt])
+            self.block(stmt.body)
+            self.block(stmt.orelse)
+            self._widen([stmt])
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.check_expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self.bind(item.optional_vars, None, None)
+            self.block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            entry = dict(self.env)
+            self.block(stmt.body)
+            for handler in stmt.handlers:
+                self.env = dict(entry)
+                self._widen(stmt.body)
+                self.block(handler.body)
+            self.env = dict(entry)
+            self._widen([stmt])
+            self.block(stmt.finalbody)
+        elif isinstance(stmt, ast.Expr):
+            self.check_expr(stmt.value)
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.check_expr(child)
+
+    def aug_assign(self, stmt: ast.AugAssign) -> None:
+        target_dim = self.infer(stmt.target)
+        value_dim = self.infer(stmt.value)
+        if isinstance(stmt.op, (ast.Add, ast.Sub)):
+            dim, problem = combine(stmt.op, target_dim, value_dim)
+            if problem and not self._ast_visible_aug(stmt):
+                self.problems.append(FlowProblem(
+                    node=stmt,
+                    message=f"{problem} (via assignment dataflow)"))
+            path = path_of(stmt.target)
+            if path is not None:
+                self._set(path, dim)
+            return
+        path = path_of(stmt.target)
+        if path is None:
+            return
+        if isinstance(stmt.op, ast.Mult):
+            if _is_scalar_constant(stmt.value):
+                return  # scaling keeps the dimension
+            self._set(path, multiply_dimensions(target_dim, value_dim))
+        elif isinstance(stmt.op, ast.Div):
+            if _is_scalar_constant(stmt.value):
+                return
+            self._set(path, divide_dimensions(target_dim, value_dim))
+        else:
+            self._set(path, None)
+
+    def bind(self, target: ast.AST, value: Optional[ast.AST],
+             dim: Optional[str]) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            elements = (value.elts
+                        if isinstance(value, (ast.Tuple, ast.List))
+                        and len(value.elts) == len(target.elts)
+                        else [None] * len(target.elts))
+            for sub_target, sub_value in zip(target.elts, elements):
+                sub_dim = (self.infer(sub_value)
+                           if sub_value is not None else None)
+                self.bind(sub_target, sub_value, sub_dim)
+            return
+        if isinstance(target, ast.Starred):
+            self.bind(target.value, None, None)
+            return
+        path = path_of(target)
+        if path is None:
+            return
+        suffix_dim = dimension_of_name(_path_label(path))
+        if (suffix_dim is not None and dim is not None
+                and suffix_dim != dim and value is not None
+                and dimension_of_expr(self.ctx.source, value) is None):
+            self.problems.append(FlowProblem(
+                node=target,
+                message=f"assigning a {dim} value (via assignment "
+                        f"dataflow) to {suffix_dim} name "
+                        f"`{_path_label(path)}`"))
+        self._set(path, suffix_dim or dim)
+
+    # -- expression checks ------------------------------------------------
+
+    def check_expr(self, expr: ast.AST) -> None:
+        """Report flow-only conflicts inside one expression tree."""
+        for node, shadowed in _walk_expr(expr):
+            if isinstance(node, ast.BinOp) and isinstance(
+                    node.op, (ast.Add, ast.Sub)):
+                left = self.infer(node.left, shadowed)
+                right = self.infer(node.right, shadowed)
+                _dim, problem = combine(node.op, left, right)
+                if problem and not self._ast_visible_binop(node):
+                    self.problems.append(FlowProblem(
+                        node=node,
+                        message=f"{problem} (via assignment dataflow)"))
+            elif isinstance(node, ast.Call):
+                self._check_call(node, shadowed)
+
+    def _check_call(self, node: ast.Call,
+                    shadowed: AbstractSet[str]) -> None:
+        for kw in node.keywords:
+            if kw.arg is None:
+                continue
+            param_dim = dimension_of_name(kw.arg)
+            if param_dim is None:
+                continue
+            arg_dim = self.infer(kw.value, shadowed)
+            if (arg_dim is not None and arg_dim != param_dim
+                    and dimension_of_expr(self.ctx.source,
+                                          kw.value) is None):
+                self.problems.append(FlowProblem(
+                    node=kw.value,
+                    message=f"keyword `{kw.arg}` expects {param_dim} but "
+                            f"the argument carries {arg_dim} (via "
+                            f"assignment dataflow)"))
+        name = _callee_name(node.func)
+        info = self.index.lookup(name) if name else None
+        if info is None:
+            return
+        for param, arg in zip(info.params, node.args):
+            if isinstance(arg, ast.Starred):
+                break
+            param_dim = dimension_of_name(param)
+            if param_dim is None:
+                continue
+            arg_dim = self.infer(arg, shadowed)
+            if (arg_dim is not None and arg_dim != param_dim
+                    and dimension_of_expr(self.ctx.source, arg) is None):
+                self.problems.append(FlowProblem(
+                    node=arg,
+                    message=f"positional argument for `{param}` of "
+                            f"`{name}()` expects {param_dim} but carries "
+                            f"{arg_dim} (via assignment dataflow)"))
+
+    def _ast_visible_binop(self, node: ast.BinOp) -> bool:
+        """Would UNIT002 already flag this node without flow facts?"""
+        left = dimension_of_expr(self.ctx.source, node.left)
+        right = dimension_of_expr(self.ctx.source, node.right)
+        _dim, problem = combine(node.op, left, right)
+        return problem is not None
+
+    def _ast_visible_aug(self, stmt: ast.AugAssign) -> bool:
+        left = dimension_of_expr(self.ctx.source, stmt.target)
+        right = dimension_of_expr(self.ctx.source, stmt.value)
+        _dim, problem = combine(stmt.op, left, right)
+        return problem is not None
+
+
+def _callee_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_scalar_constant(node: ast.AST) -> bool:
+    """A dimensionless numeric literal (possibly signed)."""
+    if isinstance(node, ast.UnaryOp):
+        return _is_scalar_constant(node.operand)
+    return (isinstance(node, ast.Constant)
+            and isinstance(node.value, (int, float))
+            and not isinstance(node.value, bool))
+
+
+def _scope_bound_names(node: ast.AST) -> Set[str]:
+    """Names a nested scope introduces (params, comprehension targets)."""
+    names: Set[str] = set()
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        args = node.args
+        for arg in (args.posonlyargs + args.args + args.kwonlyargs):
+            names.add(arg.arg)
+        if args.vararg is not None:
+            names.add(args.vararg.arg)
+        if args.kwarg is not None:
+            names.add(args.kwarg.arg)
+    elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                           ast.GeneratorExp)):
+        for gen in node.generators:
+            for sub in ast.walk(gen.target):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+    return names
+
+
+def _walk_expr(
+    expr: ast.AST,
+    shadowed: FrozenSet[str] = frozenset(),
+) -> Iterator[Tuple[ast.AST, FrozenSet[str]]]:
+    """Walk an expression, tracking names nested scopes shadow."""
+    yield expr, shadowed
+    if isinstance(expr, _SCOPED_NODES):
+        shadowed = shadowed | frozenset(_scope_bound_names(expr))
+    for child in ast.iter_child_nodes(expr):
+        yield from _walk_expr(child, shadowed)
+
+
+def _assigned_paths(stmts: Sequence[ast.stmt]) -> Set[Path]:
+    """Every path the statements may write (nested defs excluded)."""
+    paths: Set[Path] = set()
+
+    def targets(node: ast.AST) -> Iterator[ast.AST]:
+        if isinstance(node, ast.Assign):
+            yield from node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            yield node.target
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.target
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    yield item.optional_vars
+
+    def flatten(target: ast.AST) -> Iterator[ast.AST]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from flatten(element)
+        elif isinstance(target, ast.Starred):
+            yield from flatten(target.value)
+        else:
+            yield target
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef, ast.Lambda)):
+                continue
+            for target in targets(child):
+                for leaf in flatten(target):
+                    path = path_of(leaf)
+                    if path is not None:
+                        paths.add(path)
+                    elif isinstance(leaf, ast.Subscript):
+                        base = path_of(leaf.value)
+                        if base is not None:
+                            paths.add(base)
+            visit(child)
+
+    for stmt in stmts:
+        for target in targets(stmt):
+            for leaf in flatten(target):
+                path = path_of(leaf)
+                if path is not None:
+                    paths.add(path)
+        visit(stmt)
+    return paths

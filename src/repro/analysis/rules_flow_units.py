@@ -1,0 +1,70 @@
+"""Flow-sensitive unit rules: dimension errors across assignment hops.
+
+Both rules run the abstract interpreter in :mod:`repro.analysis.flow`
+over every function and report only what the AST-local UNIT001/UNIT002
+rules provably cannot see:
+
+``UNIT004 unit-flow-mismatch``
+    A dimension conflict that appears only after one or more assignment
+    hops — ``p = v_in * i_out`` later added to a current, a flow-typed
+    value bound to a name or keyword with a disagreeing suffix.  Every
+    finding is suppressed when the same node would already trip the
+    AST-local rules, so UNIT004 never double-reports.
+
+``UNIT005 unit-return-mismatch``
+    A function whose name carries a unit suffix
+    (``projected_lifetime_s``) returning a value whose dimension
+    disagrees with it.  The return dimension comes from the flow
+    environment, so a mismatch is caught whether the offending value is
+    suffix-named or built up through assignments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .dimensions import dimension_of_name
+from .driver import ModuleContext, ProjectIndex, Rule
+from .findings import SEVERITY_ERROR, Finding
+from .flow import iter_module_functions
+
+
+class UnitFlowMismatchRule(Rule):
+    """Dimension conflict visible only through assignment dataflow."""
+
+    rule_id = "UNIT004"
+    rule_name = "unit-flow-mismatch"
+    severity = SEVERITY_ERROR
+    description = ("dimension conflict reached through one or more "
+                   "assignment hops (flow-sensitive)")
+
+    def check(self, ctx: ModuleContext,
+              index: ProjectIndex) -> Iterator[Finding]:
+        for flow in iter_module_functions(ctx, index):
+            for problem in flow.problems:
+                yield self.finding(ctx, problem.node, problem.message)
+
+
+class UnitReturnMismatchRule(Rule):
+    """Returned dimension disagrees with the function's name suffix."""
+
+    rule_id = "UNIT005"
+    rule_name = "unit-return-mismatch"
+    severity = SEVERITY_ERROR
+    description = ("function whose unit-suffixed name disagrees with "
+                   "the dimension of its return value")
+
+    def check(self, ctx: ModuleContext,
+              index: ProjectIndex) -> Iterator[Finding]:
+        for flow in iter_module_functions(ctx, index):
+            name_dim = dimension_of_name(flow.func.name)
+            if name_dim is None:
+                continue
+            for ret in flow.returns:
+                if ret.dimension is None or ret.dimension == name_dim:
+                    continue
+                yield self.finding(
+                    ctx, ret.node,
+                    f"`{flow.func.name}` is named as {name_dim} but "
+                    f"returns a {ret.dimension} value",
+                )

@@ -354,20 +354,57 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _changed_files(base: str,
+                   requested: "List[pathlib.Path]") -> "Optional[List[pathlib.Path]]":
+    """Python files changed since ``base`` that fall under ``requested``.
+
+    ``None`` means git could not answer (not a repository, unknown
+    ref); the caller falls back to a full lint rather than passing
+    silently on unknown state.
+    """
+    import pathlib
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "diff", "--name-only", "-z", base, "--"],
+            capture_output=True, text=True, check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    roots = [p.resolve() for p in requested]
+    changed = []
+    for name in out.split("\0"):
+        if not name.endswith(".py"):
+            continue
+        path = pathlib.Path(name)
+        if not path.is_file():
+            continue  # deleted files have nothing to lint
+        resolved = path.resolve()
+        for root in roots:
+            if resolved == root or root in resolved.parents:
+                changed.append(path)
+                break
+    return changed
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     import pathlib
 
     from .analysis import (
         analyze_paths,
+        audit_registered_kernels,
         default_rules,
+        finalize_findings,
         load_baseline,
         render_json,
         render_text,
         split_by_baseline,
         write_baseline,
     )
+    from .analysis.baseline import stale_baseline_entries
 
-    rules = default_rules()
+    rules = default_rules(flow=args.flow)
     if args.list_rules:
         for rule in rules:
             print(f"{rule.rule_id}  {rule.rule_name:<28} "
@@ -379,8 +416,37 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(f"no such path: {', '.join(map(str, missing))}",
               file=sys.stderr)
         return 2
+    if args.changed is not None:
+        changed = _changed_files(args.changed, paths)
+        if changed is not None:
+            if not changed:
+                print(f"no python files changed since {args.changed} "
+                      f"under {' '.join(args.paths)}; nothing to lint")
+                return 0
+            paths = changed
+        else:
+            print(f"warning: cannot resolve changes since "
+                  f"{args.changed!r}; linting everything", file=sys.stderr)
     findings = analyze_paths(paths, rules)
+    if args.kernels:
+        findings = finalize_findings(
+            list(findings) + audit_registered_kernels())
     baseline_path = pathlib.Path(args.baseline)
+    if args.check_baseline:
+        stale = stale_baseline_entries(baseline_path, findings)
+        if stale:
+            print(f"{len(stale)} stale baseline entr"
+                  f"{'y' if len(stale) == 1 else 'ies'} in "
+                  f"{baseline_path} (finding fixed, suppression "
+                  f"still committed):")
+            for entry in stale:
+                print(f"  {entry['fingerprint']}  {entry['rule']}  "
+                      f"{entry['path']}  {entry.get('snippet', '')}")
+            print("regenerate with --update-baseline (reasons are "
+                  "preserved)")
+            return 1
+        print(f"baseline {baseline_path} is up to date")
+        return 0
     if args.update_baseline:
         write_baseline(baseline_path, findings)
         print(f"wrote {baseline_path} ({len(findings)} finding(s) "
@@ -556,6 +622,24 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="PATH",
                       help="baseline file of accepted findings "
                            "(default: lint-baseline.json if present)")
+    lint.add_argument("--flow", action="store_true", dest="flow",
+                      default=True,
+                      help="enable the flow-sensitive unit rules "
+                           "UNIT004/UNIT005 (default)")
+    lint.add_argument("--no-flow", action="store_false", dest="flow",
+                      help="disable the flow-sensitive unit rules "
+                           "(faster editor runs)")
+    lint.add_argument("--kernels", action="store_true",
+                      help="also audit every generated solve_batch "
+                           "kernel (registered topologies x gate "
+                           "signatures, rules KER001/KER002)")
+    lint.add_argument("--changed", nargs="?", const="HEAD",
+                      default=None, metavar="REF",
+                      help="lint only python files changed since REF "
+                           "(git diff; default REF: HEAD)")
+    lint.add_argument("--check-baseline", action="store_true",
+                      help="fail if the baseline holds fingerprints no "
+                           "live finding matches (stale suppressions)")
     lint.add_argument("--update-baseline", action="store_true",
                       help="accept all current findings into the baseline")
     lint.add_argument("--list-rules", action="store_true",

@@ -48,8 +48,31 @@ __all__ = [
     "CohortFallback",
     "CohortRun",
     "CohortSpec",
+    "PARITY_MIRRORS",
     "advance_cohort",
 ]
+
+#: Scalar->batch parity markers for ``repro lint`` (VEC002).  Each key
+#: is an elementwise mirror in this module; the values are the scalar
+#: functions it replays, as ``"module:Class.method"``.  The lint rule
+#: checks every float constant a mirror uses appears in at least one of
+#: its references — a constant present only in the mirror is exactly
+#: the one-sided edit that breaks the bit-exactness contract above.
+PARITY_MIRRORS = {
+    "_CohortMachine._ocv_and_resistance": (
+        "repro.storage.nimh:NiMHCell.open_circuit_voltage",
+        "repro.storage.nimh:NiMHCell.internal_resistance",
+    ),
+    "_CohortMachine._sync": (
+        "repro.core.node:PicoCube._sync_battery",
+        "repro.storage.nimh:NiMHCell.apply_self_discharge",
+        "repro.storage.nimh:NiMHCell._self_discharge_acceleration",
+    ),
+    "_CohortMachine._solve_update": (
+        "repro.core.node:PicoCube._update",
+        "repro.core.power_train:TrainSolution.p_management",
+    ),
+}
 
 
 class CohortFallback(SimulationError):

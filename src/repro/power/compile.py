@@ -101,6 +101,7 @@ __all__ = [
     "compiled_kernel_for",
     "gate_signature",
     "generate_kernel_source",
+    "iter_registered_kernel_sources",
     "kernel_cache_stats",
     "kernel_metrics",
     "kernel_source",
@@ -640,6 +641,41 @@ def kernel_source(graph: RailGraph, open_gates=frozenset()) -> str:
     """
     gates = _normalize_gate_input(graph, open_gates)
     return generate_kernel_source(graph, gate_signature(graph, gates))[0]
+
+
+def iter_registered_kernel_sources():
+    """Every kernel this compiler can emit for the registered topologies.
+
+    Yields ``(kind, signature, source, guard_names)`` for each
+    registered rail topology crossed with every gate-state combination
+    (open/closed/mask per gate) — the full space the runtime kernel
+    cache can ever hold.  The lint kernel auditor
+    (``repro lint --kernels``) parses each emitted source and checks the
+    structural invariants; keeping enumeration here means the auditor
+    never has to know how plans, signatures, or gates are spelled.
+
+    Pure codegen: no caching, no ``exec``.  A plan the compiler has no
+    emitter for yields ``(kind, signature, None, reason)`` instead of
+    raising, so one unsupported topology never hides the rest of the
+    registry from an auditor.
+    """
+    import itertools
+
+    from .rail_topologies import get_rail_spec, rail_topology_names
+
+    for kind in rail_topology_names():
+        graph = RailGraph(get_rail_spec(kind))
+        gate_names = graph._gate_names
+        states = (GATE_OPEN, GATE_CLOSED, GATE_MASK)
+        for combo in itertools.product(states, repeat=len(gate_names)):
+            signature = tuple(zip(gate_names, combo))
+            try:
+                source, guard_names = generate_kernel_source(
+                    graph, signature)
+            except KernelUnsupported as exc:
+                yield kind, signature, None, str(exc)
+                continue
+            yield kind, signature, source, guard_names
 
 
 # ---------------------------------------------------------------------------

@@ -50,3 +50,19 @@ def test_baseline_entries_are_still_live():
     assert recorded <= live, (
         "baseline contains fingerprints that no longer match any "
         "finding; regenerate with --update-baseline")
+
+
+def test_stale_baseline_helper_agrees():
+    """`--check-baseline` sees the same staleness the test above does."""
+    from repro.analysis.baseline import stale_baseline_entries
+
+    findings = analyze_paths([ROOT / "src" / "repro"], default_rules(),
+                             root=ROOT)
+    assert stale_baseline_entries(BASELINE, findings) == []
+
+
+def test_generated_kernels_audit_clean():
+    """`repro lint --kernels` must pass on every registered kernel."""
+    from repro.analysis import audit_registered_kernels
+
+    assert audit_registered_kernels() == []
