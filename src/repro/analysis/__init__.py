@@ -55,6 +55,7 @@ from .rules_contracts import (
     MutableDefaultRule,
     UnfrozenFaultEventRule,
     UnfrozenRailSpecRule,
+    UnregisteredCheckpointStateRule,
 )
 from .rules_determinism import (
     DynamicCodeRule,
@@ -98,6 +99,7 @@ def default_rules(*, flow: bool = True):
         MissingSlotsRule(),
         MutableDefaultRule(),
         UnfrozenRailSpecRule(),
+        UnregisteredCheckpointStateRule(),
         ScalarBatchParityRule(),
         MirrorConstantParityRule(),
         KernelStructureRule(),
@@ -126,6 +128,7 @@ __all__ = [
     "ScalarBatchParityRule",
     "UnfrozenFaultEventRule",
     "UnfrozenRailSpecRule",
+    "UnregisteredCheckpointStateRule",
     "UnitBareSiLiteralRule",
     "UnitBindingMismatchRule",
     "UnitFlowMismatchRule",

@@ -18,8 +18,9 @@ never from worker identity or completion order.
 from __future__ import annotations
 
 import dataclasses
+import os
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .board import (
     PadAlignmentModel,
@@ -35,7 +36,7 @@ from .core import (
     build_steady_tpms_node,
     build_tpms_node,
 )
-from .errors import ConfigurationError
+from .errors import CheckpointError, ConfigurationError
 from .faults import FaultInjector, random_schedule
 from .harvest import (
     BicycleWheelHarvester,
@@ -53,8 +54,9 @@ from .power import (
     rail_topology_names,
 )
 from .power.topologies import all_step_up_families
-from .runner import CampaignStats, MemoCache, MonteCarlo, Sweep
+from .runner import CampaignStats, MemoCache, MonteCarlo, ResultStore, Sweep
 from .sensors import TireEnvironment
+from .sim import checkpoint as simcheckpoint
 from .storage import NiMHCell
 from .units import milli
 
@@ -72,10 +74,13 @@ def topology_campaign(
     ratios: Sequence[int] = (2, 3, 5, 8),
     workers: Optional[int] = None,
     cache: Optional[MemoCache] = None,
+    store: Optional[ResultStore] = None,
+    pool: Optional[Any] = None,
 ) -> Tuple[Dict[int, list], CampaignStats]:
     """The Seeman-Sanders comparison tables, one task per ratio."""
     sweep = Sweep(
-        topology_table_task, name="e16-topologies", workers=workers, cache=cache
+        topology_table_task, name="e16-topologies", workers=workers,
+        cache=cache, store=store, pool=pool,
     )
     result = sweep.run(list(ratios))
     return dict(zip(ratios, result.values())), result.stats
@@ -255,6 +260,9 @@ def fleet_density_campaign(
     base_seed: int = 2008,
     workers: Optional[int] = None,
     engine: str = "per-node",
+    store: Optional[ResultStore] = None,
+    pool: Optional[Any] = None,
+    progress: Optional[Any] = None,
 ) -> Tuple[List[Tuple[int, FleetStats, FleetStats, float]], CampaignStats]:
     """Staggered + random-phase fleets at each density, in parallel.
 
@@ -277,8 +285,10 @@ def fleet_density_campaign(
         name="e21-fleet",
         workers=workers,
         simulated_s_of=lambda stats: duration_s,
+        store=store,
+        pool=pool,
     )
-    result = sweep.run(grid)
+    result = sweep.run(grid, progress=progress)
     values = result.values()
     rows = []
     for k, count in enumerate(counts):
@@ -449,6 +459,9 @@ def topology_sweep_campaign(
     kinds: Optional[Sequence[str]] = None,
     duration_s: float = 3600.0,
     workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    pool: Optional[Any] = None,
+    progress: Optional[Any] = None,
 ) -> Tuple[List[TopologyOutcome], CampaignStats]:
     """Every registered rail topology (or a subset) through a node run.
 
@@ -458,9 +471,12 @@ def topology_sweep_campaign(
     if kinds is None:
         kinds = rail_topology_names()
     sweep = Sweep(
-        rail_topology_task, name="rail-topology-sweep", workers=workers
+        rail_topology_task, name="rail-topology-sweep", workers=workers,
+        store=store, pool=pool,
     )
-    result = sweep.run([(kind, float(duration_s)) for kind in kinds])
+    result = sweep.run(
+        [(kind, float(duration_s)) for kind in kinds], progress=progress
+    )
     return list(result.values()), result.stats
 
 
@@ -546,23 +562,89 @@ def _chaos_node(duration_s: float) -> "PicoCube":
     return node
 
 
-def chaos_task(params: Tuple[float, str], seed: int) -> ChaosOutcome:
+def _chaos_scenario(params: dict) -> Tuple["PicoCube", FaultInjector]:
+    """Checkpoint scenario factory: the chaos trial at t=0, armed.
+
+    Construction order matters for bit-identity: charger attach, then
+    injector arm, then (at run time) the wake timer — the exact event
+    sequence :func:`chaos_task` has always produced, so restored runs
+    reproduce the engine's same-instant tie-breaking.
+    """
+    duration_s = float(params["duration_s"])
+    profile = params["profile"]
+    seed = int(params["seed"])
+    if profile not in CHAOS_PROFILES:
+        raise ConfigurationError(f"unknown chaos profile {profile!r}")
+    node = _chaos_node(duration_s)
+    schedule = random_schedule(seed, duration_s, **CHAOS_PROFILES[profile])
+    injector = FaultInjector(node, schedule, noise_seed=seed)
+    injector.arm()
+    return node, injector
+
+
+simcheckpoint.register_scenario("chaos", _chaos_scenario)
+
+
+def chaos_task(params: Tuple, seed: int) -> ChaosOutcome:
     """One seeded fault storm against the marginal chaos node.
 
     ``params = (duration_s, profile)``; the schedule, the injector's
     noise stream, and the node are all pure functions of ``(params,
     seed)``, so the trial is bit-identical wherever it runs.
+
+    Two optional trailing elements make the trial *durable*:
+    ``(duration_s, profile, checkpoint_every_s, checkpoint_dir)``.  The
+    trial then writes a checkpoint to a deterministic path every
+    ``checkpoint_every_s`` simulated seconds, resumes from that file if
+    one exists on entry (a restarted campaign), and removes it on
+    completion.  Resumed outcomes are bit-identical to uninterrupted
+    ones — the contract ``tests/sim/test_checkpoint.py`` pins.
     """
-    duration_s, profile = params
-    if profile not in CHAOS_PROFILES:
-        raise ConfigurationError(f"unknown chaos profile {profile!r}")
-    node = _chaos_node(duration_s)
-    schedule = random_schedule(
-        seed, duration_s, **CHAOS_PROFILES[profile]
+    duration_s, profile = float(params[0]), params[1]
+    checkpoint_every = params[2] if len(params) > 2 else None
+    checkpoint_dir = params[3] if len(params) > 3 else None
+    scenario = {
+        "kind": "chaos",
+        "params": {
+            "duration_s": duration_s, "profile": profile, "seed": seed
+        },
+    }
+    node = injector = None
+    path = None
+    if checkpoint_dir is not None:
+        path = os.path.join(
+            checkpoint_dir, f"chaos-{profile}-{duration_s:g}-{seed}.ckpt"
+        )
+        try:
+            saved = simcheckpoint.read_checkpoint(path)
+            node, injector = simcheckpoint.restore_from(saved)
+        except CheckpointError:
+            node = None  # missing/corrupt/stale: start cold
+    if node is None:
+        node, injector = simcheckpoint.build_scenario(
+            "chaos", scenario["params"]
+        )
+    on_checkpoint = None
+    if path is not None and checkpoint_every is not None:
+        def on_checkpoint(paused, _injector=injector, _path=path):
+            simcheckpoint.write_checkpoint(
+                simcheckpoint.save_checkpoint(
+                    paused,
+                    _injector,
+                    scenario=scenario,
+                    meta={"end_time": duration_s},
+                ),
+                _path,
+            )
+    node.run_until_time(
+        duration_s,
+        checkpoint_every=(
+            float(checkpoint_every) if on_checkpoint is not None else None
+        ),
+        on_checkpoint=on_checkpoint,
     )
-    injector = FaultInjector(node, schedule, noise_seed=seed)
-    injector.arm()
-    node.run(duration_s)
+    if path is not None and os.path.exists(path):
+        os.remove(path)
     audit = audit_node(node)
     return ChaosOutcome(
         seed=seed,
@@ -583,13 +665,29 @@ def chaos_campaign(
     profile: str = "mild",
     base_seed: int = 2008,
     workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    pool: Optional[Any] = None,
+    checkpoint_every: Optional[float] = None,
+    checkpoint_dir: Optional[str] = None,
+    progress: Optional[Any] = None,
 ) -> Tuple[List[ChaosOutcome], CampaignStats]:
     """Monte-Carlo fault storms over the process pool.
 
     Trial ``k`` gets ``derive_seed(base_seed, k, profile)``; outcomes
     come back in trial order and are bit-identical for any ``workers``
     value — the invariant ``tests/faults/test_chaos_campaign.py`` pins.
+
+    ``store`` memoizes finished trials across runs (content-addressed);
+    ``checkpoint_every``/``checkpoint_dir`` additionally make *partial*
+    trials durable, so a killed campaign restarted with the same
+    arguments resumes each unfinished trial mid-simulation instead of
+    replaying it — with bit-identical outcomes either way.  Note that
+    the store key includes the checkpoint arguments (they are task
+    params), so durable and plain campaigns do not share store entries.
     """
+    params: Tuple = (duration_s, profile)
+    if checkpoint_dir is not None:
+        params = (duration_s, profile, checkpoint_every, checkpoint_dir)
     mc = MonteCarlo(
         chaos_task,
         base_seed=base_seed,
@@ -597,8 +695,10 @@ def chaos_campaign(
         name=f"chaos-{profile}",
         workers=workers,
         seed_salt=profile,
+        store=store,
+        pool=pool,
     )
-    result = mc.run(params=(duration_s, profile))
+    result = mc.run(params=params, progress=progress)
     return result.values, result.stats
 
 
@@ -646,6 +746,9 @@ def steady_endurance_campaign(
     durations_s: Sequence[float],
     fast_forward: bool = True,
     workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    pool: Optional[Any] = None,
+    progress: Optional[Any] = None,
 ) -> Tuple[List[Tuple[float, Tuple[int, float, int, int]]], CampaignStats]:
     """Long steady-cruise runs fanned over the pool.
 
@@ -654,8 +757,9 @@ def steady_endurance_campaign(
     are bit-identical to the event-by-event rows either way.
     """
     sweep = Sweep(
-        steady_node_task, name="steady-endurance", workers=workers
+        steady_node_task, name="steady-endurance", workers=workers,
+        store=store, pool=pool,
     )
     grid = [(float(d), fast_forward) for d in durations_s]
-    result = sweep.run(grid)
+    result = sweep.run(grid, progress=progress)
     return list(zip(durations_s, result.values())), result.stats

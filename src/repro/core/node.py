@@ -379,16 +379,84 @@ class PicoCube:
                 self.engine.schedule_at(t, self._on_motion_interrupt,
                                         name="motion-irq")
 
-    def run(self, duration: float) -> None:
-        """Start (if needed) and simulate ``duration`` seconds."""
+    def run(
+        self,
+        duration: float,
+        checkpoint_every: Optional[float] = None,
+        on_checkpoint: Optional[Callable[["PicoCube"], None]] = None,
+    ) -> None:
+        """Start (if needed) and simulate ``duration`` seconds.
+
+        With ``checkpoint_every`` set, ``on_checkpoint(self)`` is invoked
+        at the first checkpoint-safe event boundary after each elapsed
+        interval (see :meth:`checkpoint_safe`); the callback typically
+        persists :func:`repro.sim.checkpoint.save_checkpoint` output.
+        Checkpointing only observes state, so the run is bit-identical
+        to an uncheckpointed one.
+        """
         if duration < 0.0:
             raise SimulationError("duration must be >= 0")
+        self.run_until_time(
+            self.engine.now + duration,
+            checkpoint_every=checkpoint_every,
+            on_checkpoint=on_checkpoint,
+        )
+
+    def run_until_time(
+        self,
+        end_time: float,
+        checkpoint_every: Optional[float] = None,
+        on_checkpoint: Optional[Callable[["PicoCube"], None]] = None,
+    ) -> None:
+        """Simulate to an absolute engine time.
+
+        This is the resume primitive: a node restored from a checkpoint
+        continues with ``run_until_time(original_end)``, which reproduces
+        the uninterrupted run's tail exactly (a relative ``run(end -
+        now)`` would re-round the end time and could shift the final
+        quiescent integral by one ulp).
+        """
+        if end_time < self.engine.now:
+            raise SimulationError("end_time precedes the engine clock")
+        if checkpoint_every is not None and checkpoint_every <= 0.0:
+            raise SimulationError("checkpoint_every must be > 0")
         self.start()
         if self.fast_forward is not None:
-            self.fast_forward.set_horizon(self.engine.now + duration)
-        self.engine.run_until(self.engine.now + duration)
+            self.fast_forward.set_horizon(end_time)
+        if checkpoint_every is None:
+            self.engine.run_until(end_time)
+        else:
+            if on_checkpoint is None:
+                raise SimulationError(
+                    "checkpoint_every needs an on_checkpoint callback"
+                )
+            next_checkpoint = self.engine.now + checkpoint_every
+
+            def pause() -> bool:
+                return (
+                    self.engine.now >= next_checkpoint
+                    and self.checkpoint_safe()
+                )
+
+            while not self.engine.run_until(end_time, pause_hook=pause):
+                on_checkpoint(self)
+                next_checkpoint = self.engine.now + checkpoint_every
         self._sync_battery()
         self._update_recorder_tail()
+
+    def checkpoint_safe(self) -> bool:
+        """True when node state is fully capturable at this instant.
+
+        Mid-cycle the sample/format/transmit generator holds live frame
+        state that cannot be serialized; between the wake interrupt and
+        the cycle's first resume, a process-start event is pending with
+        the same problem.  At every other event boundary — sleeping,
+        harvesting, browned out, mid fault storm — the node is plain
+        data.
+        """
+        return not self._cycle_active and (
+            self._cycle_process is None or self._cycle_process.finished
+        )
 
     def _update_recorder_tail(self) -> None:
         """Touch channels so traces extend to the current time."""

@@ -46,3 +46,7 @@ class GeometryError(PicoCubeError):
 
 class CampaignError(PicoCubeError):
     """A parallel experiment campaign failed (worker task errors)."""
+
+
+class CheckpointError(SimulationError):
+    """A simulation checkpoint could not be saved, read, or restored."""

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from ..core.node import PicoCube
 from ..errors import ConfigurationError
@@ -63,6 +63,7 @@ class FaultInjector:
         self.log: List[Tuple[float, str]] = []
         self._rng = random.Random(noise_seed)
         self._armed = False
+        self._armed_at = 0.0
         # Active severity stacks, composed multiplicatively per family.
         self._deratings: List[float] = []
         self._spikes: List[float] = []
@@ -82,28 +83,101 @@ class FaultInjector:
             )
         self._armed = True
         self.node.packet_filter = self._filter_packet
-        now = self.node.engine.now
+        self._armed_at = self.node.engine.now
+        for time_s, name, callback in self.planned_transitions(
+            self._armed_at
+        ):
+            self.node.engine.schedule_at(time_s, callback, name=name)
+
+    def planned_transitions(
+        self, armed_at: float
+    ) -> List[Tuple[float, str, Callable[[], None]]]:
+        """The deterministic transition list :meth:`arm` schedules.
+
+        Order follows the schedule's canonical sort, so the list is a
+        function of (schedule, ``armed_at``) alone.  Checkpoint restore
+        replays this plan and re-schedules the suffix of transitions the
+        saved engine still had pending.
+        """
+        transitions: List[Tuple[float, str, Callable[[], None]]] = []
         for event in self.schedule:
             if isinstance(event, SpuriousReset):
-                if event.start_s >= now:
-                    self.node.engine.schedule_at(
-                        event.start_s,
-                        lambda e=event: self._fire_reset(e),
-                        name="fault-reset",
+                if event.start_s >= armed_at:
+                    transitions.append(
+                        (
+                            event.start_s,
+                            "fault-reset",
+                            lambda e=event: self._fire_reset(e),
+                        )
                     )
                 continue
-            if event.end_s <= now:
+            if event.end_s <= armed_at:
                 continue  # already over before arming
-            self.node.engine.schedule_at(
-                max(event.start_s, now),
-                lambda e=event: self._apply(e, on=True),
-                name="fault-on",
+            transitions.append(
+                (
+                    max(event.start_s, armed_at),
+                    "fault-on",
+                    lambda e=event: self._apply(e, on=True),
+                )
             )
-            self.node.engine.schedule_at(
-                event.end_s,
-                lambda e=event: self._apply(e, on=False),
-                name="fault-off",
+            transitions.append(
+                (
+                    event.end_s,
+                    "fault-off",
+                    lambda e=event: self._apply(e, on=False),
+                )
             )
+        return transitions
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Checkpointable injector state (see :mod:`repro.sim.checkpoint`).
+
+        The schedule itself is part of the scenario (rebuilt by the
+        caller's factory), so only the live fight — severity stacks, the
+        noise RNG's position, the logs — is captured here.
+        """
+        return {
+            "armed": self._armed,
+            "armed_at": self._armed_at,
+            "rng_state": self._rng.getstate(),
+            "deratings": list(self._deratings),
+            "spikes": list(self._spikes),
+            "esr": list(self._esr),
+            "degradations": list(self._degradations),
+            "component_degradations": {
+                name: list(stack)
+                for name, stack in self._component_degradations.items()
+            },
+            "noise": list(self._noise),
+            "log": list(self.log),
+            "corrupted": list(self.corrupted),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output onto a freshly armed injector.
+
+        Stacks are overwritten rather than replayed — the electrical
+        side effects they imply were already restored with the node.
+        Pending transition events are *not* re-created here; the
+        checkpoint layer does that through :meth:`planned_transitions`
+        so the engine's event-sequence order is reproduced globally.
+        """
+        self._armed = bool(state["armed"])
+        self._armed_at = float(state["armed_at"])
+        self._rng.setstate(state["rng_state"])
+        self._deratings = list(state["deratings"])
+        self._spikes = list(state["spikes"])
+        self._esr = list(state["esr"])
+        self._degradations = list(state["degradations"])
+        self._component_degradations = {
+            name: list(stack)
+            for name, stack in state["component_degradations"].items()
+        }
+        self._noise = list(state["noise"])
+        self.log = list(state["log"])
+        self.corrupted = list(state["corrupted"])
 
     # -- transitions -------------------------------------------------------
 

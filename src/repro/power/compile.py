@@ -66,6 +66,7 @@ import numpy as np
 
 from ..errors import ConfigurationError, ElectricalError
 from ..runner.cache import MemoCache
+from ..runner.cacheroot import resolve_cache_dir
 from .charge_pump import RegulatedChargePump
 from .graph import FrozenMapping, GraphSolutionBatch, RailGraph
 from .linear_regulator import LinearRegulator
@@ -78,7 +79,10 @@ from .shunt_regulator import ShuntRegulator
 KERNEL_CODE_VERSION = 3
 
 #: Environment variable naming a directory for the persistent source
-#: cache (used by CI's cold/warm equivalence check).  Unset: memory only.
+#: cache (used by CI's cold/warm equivalence check).  This is a
+#: kernel-specific override; when unset, the shared ``REPRO_CACHE_DIR``
+#: root (see :mod:`repro.runner.cacheroot`) provides a ``kernels/``
+#: subdirectory, and with neither set the cache is memory only.
 CACHE_DIR_ENV = "REPRO_KERNEL_CACHE_DIR"
 
 #: Gate-signature states: each gate group of a topology is resolved at
@@ -701,7 +705,7 @@ def _plan_digest(graph: RailGraph) -> str:
 
 
 def _disk_path(key: tuple) -> Optional[str]:
-    cache_dir = os.environ.get(CACHE_DIR_ENV)
+    cache_dir = resolve_cache_dir("kernels", override_env=CACHE_DIR_ENV)
     if not cache_dir:
         return None
     token = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:32]

@@ -11,6 +11,7 @@ node models.  Experiment-specific task functions live in
 """
 
 from .cache import CacheStats, MemoCache, memoize
+from .cacheroot import REPRO_CACHE_DIR_ENV, cache_root, resolve_cache_dir
 from .metrics import CampaignStats, Progress
 from .pool import (
     MonteCarlo,
@@ -22,6 +23,12 @@ from .pool import (
     default_workers,
 )
 from .seeding import derive_seed, derive_seeds
+from .store import (
+    RESULT_CODE_VERSION,
+    ResultStore,
+    StoreStats,
+    stable_token,
+)
 
 __all__ = [
     "CacheStats",
@@ -30,12 +37,19 @@ __all__ = [
     "MonteCarlo",
     "MonteCarloResult",
     "Progress",
+    "REPRO_CACHE_DIR_ENV",
+    "RESULT_CODE_VERSION",
+    "ResultStore",
+    "StoreStats",
     "Sweep",
     "SweepResult",
     "TaskError",
     "TaskRecord",
+    "cache_root",
     "default_workers",
     "derive_seed",
     "derive_seeds",
     "memoize",
+    "resolve_cache_dir",
+    "stable_token",
 ]

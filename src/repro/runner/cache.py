@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import inspect
 import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Optional
@@ -118,16 +119,30 @@ class MemoCache:
 def memoize(fn: Callable = None, *, maxsize: Optional[int] = None) -> Callable:
     """Decorator: memoize a pure function of hashable arguments.
 
-    The wrapped function gains ``.cache`` (the :class:`MemoCache`) so
-    callers can read ``fn.cache.stats`` or ``fn.cache.clear()``.
+    Call spellings are normalized through the function's signature, so
+    ``f(1, 2)`` and ``f(1, b=2)`` (and default-filled calls) share one
+    cache entry.  The wrapped function gains ``.cache`` (the
+    :class:`MemoCache`) so callers can read ``fn.cache.stats`` or
+    ``fn.cache.clear()``.
     """
 
     def wrap(func: Callable) -> Callable:
         cache = MemoCache(maxsize=maxsize)
+        signature = inspect.signature(func)
 
         @functools.wraps(func)
         def wrapper(*args, **kwargs):
-            key = (args, tuple(sorted(kwargs.items())))
+            bound = signature.bind(*args, **kwargs)
+            bound.apply_defaults()
+            items = []
+            for name, value in bound.arguments.items():
+                # VAR_KEYWORD binds as a dict; flatten it so the key
+                # stays hashable (and order-independent).
+                if signature.parameters[name].kind is \
+                        inspect.Parameter.VAR_KEYWORD:
+                    value = tuple(sorted(value.items()))
+                items.append((name, value))
+            key = tuple(items)
             return cache.get_or_compute(key, lambda: func(*args, **kwargs))
 
         wrapper.cache = cache

@@ -1,0 +1,64 @@
+"""One cache-root convention for every on-disk cache in the package.
+
+Several subsystems persist derived artifacts across processes: the
+rail-graph kernel cache (:mod:`repro.power.compile`), the campaign
+:class:`~repro.runner.store.ResultStore`, and the campaign service's job
+journal and simulation checkpoints (:mod:`repro.service`).  All resolve
+their directory here, under a single ``REPRO_CACHE_DIR`` environment
+variable, so one setting warms every cache::
+
+    REPRO_CACHE_DIR=~/.cache/repro  →  kernels/  results/  jobs/  checkpoints/
+
+Subsystem-specific overrides stay supported — the kernel cache's
+historical ``REPRO_KERNEL_CACHE_DIR`` wins over the shared root for its
+subdirectory — and when neither variable is set, resolution returns
+``None`` and the caller stays memory-only, exactly the pre-existing
+behaviour.  See ``docs/PERF.md`` for the operational guidance.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = [
+    "REPRO_CACHE_DIR_ENV",
+    "cache_root",
+    "resolve_cache_dir",
+]
+
+#: The shared cache-root environment variable.
+REPRO_CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def cache_root() -> Optional[str]:
+    """The shared cache root from ``REPRO_CACHE_DIR``, or ``None``.
+
+    The value is expanded (``~`` and environment references) but not
+    created; callers create their subdirectory on first write.
+    """
+    root = os.environ.get(REPRO_CACHE_DIR_ENV)
+    if not root:
+        return None
+    return os.path.expanduser(os.path.expandvars(root))
+
+
+def resolve_cache_dir(
+    subdir: str, override_env: Optional[str] = None
+) -> Optional[str]:
+    """Resolve one subsystem's cache directory.
+
+    ``override_env`` names a subsystem-specific environment variable that
+    takes precedence (the kernel cache's ``REPRO_KERNEL_CACHE_DIR``); its
+    value is used verbatim as the directory.  Otherwise the shared root's
+    ``subdir`` is used.  Returns ``None`` when neither variable is set,
+    which callers treat as "memory-only, no persistence".
+    """
+    if override_env:
+        override = os.environ.get(override_env)
+        if override:
+            return os.path.expanduser(os.path.expandvars(override))
+    root = cache_root()
+    if root is None:
+        return None
+    return os.path.join(root, subdir)

@@ -39,6 +39,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import CampaignError, ConfigurationError
 from .cache import MemoCache
+from .store import ResultStore
 from .metrics import CampaignStats, Progress
 from .seeding import derive_seed
 
@@ -159,8 +160,10 @@ class Sweep:
         base_seed: Optional[int] = None,
         seed_salt: str = "",
         cache: Optional[MemoCache] = None,
+        store: Optional["ResultStore"] = None,
         simulated_s_of: Optional[Callable[[Any], float]] = None,
         mp_context: Optional[str] = None,
+        pool: Optional[Any] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -173,8 +176,13 @@ class Sweep:
         self.base_seed = base_seed
         self.seed_salt = seed_salt
         self.cache = cache
+        self.store = store
         self.simulated_s_of = simulated_s_of
         self.mp_context = mp_context
+        # An externally owned multiprocessing pool: reused, never closed
+        # here.  This is how `repro serve` multiplexes one warm pool
+        # across many concurrent campaign requests.
+        self.pool = pool
 
     # -- execution ---------------------------------------------------------
 
@@ -241,6 +249,10 @@ class Sweep:
             (self.fn, specs[k : k + chunk], self.base_seed is not None)
             for k in range(0, len(specs), chunk)
         ]
+        if self.pool is not None:
+            for records in self.pool.imap_unordered(_execute_chunk, payloads):
+                yield records
+            return
         if self.workers <= 1 or len(specs) == 1:
             for payload in payloads:
                 yield _execute_chunk(payload)
@@ -273,10 +285,17 @@ class Sweep:
             )
         return (self.name, params, seed)
 
+    def _store_key(self, spec: Tuple) -> str:
+        _, params, seed = spec
+        return self.store.key((self.name, params), schedule=seed)
+
     def _cache_lookup(self, spec: Tuple):
-        if self.cache is None:
-            return False, None
-        hit, value = self.cache.peek(self._cache_key(spec))
+        hit = False
+        value = None
+        if self.store is not None:
+            hit, value = self.store.get(self._store_key(spec))
+        if not hit and self.cache is not None:
+            hit, value = self.cache.peek(self._cache_key(spec))
         if not hit:
             return False, None
         index, params, seed = spec
@@ -291,12 +310,13 @@ class Sweep:
         )
 
     def _cache_store(self, record: TaskRecord) -> None:
-        if self.cache is None or not record.ok:
+        if not record.ok:
             return
-        self.cache.put(
-            self._cache_key((record.index, record.params, record.seed)),
-            record.value,
-        )
+        spec = (record.index, record.params, record.seed)
+        if self.store is not None:
+            self.store.put(self._store_key(spec), record.value)
+        if self.cache is not None:
+            self.cache.put(self._cache_key(spec), record.value)
 
     def _simulated_s(self, records: List[TaskRecord]) -> float:
         if self.simulated_s_of is None:
@@ -324,7 +344,9 @@ class MonteCarlo:
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
         seed_salt: str = "",
+        store: Optional[ResultStore] = None,
         mp_context: Optional[str] = None,
+        pool: Optional[Any] = None,
     ) -> None:
         if trials < 1:
             raise ConfigurationError(f"trials must be >= 1, got {trials}")
@@ -336,7 +358,9 @@ class MonteCarlo:
             chunk_size=chunk_size,
             base_seed=base_seed,
             seed_salt=seed_salt,
+            store=store,
             mp_context=mp_context,
+            pool=pool,
         )
 
     def run(

@@ -1,0 +1,42 @@
+"""The campaign service: ``python -m repro serve`` and its client.
+
+Layers:
+
+* :mod:`repro.service.protocol` — the newline-JSON wire format, request
+  normalization, and content-addressed job keys.
+* :mod:`repro.service.server` — the asyncio server: pending-interest
+  dedup, one warm worker pool, streaming progress, journal-backed
+  restart resume.
+* :mod:`repro.service.client` — a small blocking client for tests and
+  scripts.
+
+See ``docs/SERVICE.md`` for the protocol reference and the durability
+story (result store + checkpoints + jobs journal).
+"""
+
+from .client import ServiceClient
+from .protocol import (
+    CAMPAIGN_KINDS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode,
+    encode,
+    job_key,
+    jsonable,
+    normalize_request,
+)
+from .server import CampaignService, serve
+
+__all__ = [
+    "CAMPAIGN_KINDS",
+    "CampaignService",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServiceClient",
+    "decode",
+    "encode",
+    "job_key",
+    "jsonable",
+    "normalize_request",
+    "serve",
+]

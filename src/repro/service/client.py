@@ -1,0 +1,105 @@
+"""A small blocking client for the campaign service.
+
+Enough to script the service from tests, notebooks, and the smoke
+harness: connect, submit, iterate events, collect the result.  One
+connection can hold many jobs; events carry their job key, so
+:meth:`ServiceClient.collect` filters the interleaved stream.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .protocol import ProtocolError, decode, encode
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Blocking newline-JSON client for one service connection."""
+
+    def __init__(
+        self, host: str, port: int, timeout: Optional[float] = 300.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+
+    # -- plumbing ----------------------------------------------------------
+
+    def send(self, message: Dict[str, Any]) -> None:
+        """Send one protocol message."""
+        self._sock.sendall(encode(message))
+
+    def recv(self) -> Dict[str, Any]:
+        """Receive one protocol message (blocking)."""
+        line = self._file.readline()
+        if not line:
+            raise ProtocolError("server closed the connection")
+        return decode(line)
+
+    def close(self) -> None:
+        """Close the connection."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- protocol verbs ----------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        """Round-trip a liveness probe; returns the ``pong``."""
+        self.send({"type": "ping"})
+        return self.recv()
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the server to exit cleanly; returns the ``bye``."""
+        self.send({"type": "shutdown"})
+        return self.recv()
+
+    def submit(
+        self, kind: str, params: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Submit a campaign; returns the ``accepted`` (or error) event."""
+        self.send({"type": "submit", "kind": kind, "params": params or {}})
+        return self.recv()
+
+    def events(self, job: str) -> Iterator[Dict[str, Any]]:
+        """Yield this job's events (skipping other jobs') until terminal.
+
+        The final yielded event is the job's ``result`` or ``error``.
+        """
+        while True:
+            event = self.recv()
+            if event.get("job") != job:
+                continue
+            yield event
+            if event["type"] in ("result", "error"):
+                return
+
+    def collect(
+        self, kind: str, params: Optional[Dict[str, Any]] = None
+    ) -> Tuple[Dict[str, Any], List[Dict[str, Any]], Dict[str, Any]]:
+        """Submit and drain one campaign to completion.
+
+        Returns ``(accepted, progress_events, final)`` where ``final``
+        is the ``result`` or ``error`` event.
+        """
+        accepted = self.submit(kind, params)
+        if accepted["type"] != "accepted":
+            raise ProtocolError(
+                f"submission refused: {accepted.get('message', accepted)}"
+            )
+        progress: List[Dict[str, Any]] = []
+        for event in self.events(accepted["job"]):
+            if event["type"] == "progress":
+                progress.append(event)
+            else:
+                return accepted, progress, event
+        raise ProtocolError("event stream ended without a result")

@@ -1,0 +1,178 @@
+"""Wire protocol for ``python -m repro serve``.
+
+The service speaks newline-delimited JSON over a plain TCP socket: every
+message is one JSON object on one line, client and server alike.  Keeping
+the framing this primitive means ``nc``/``telnet`` can drive the server
+by hand and the test-suite client is a few dozen lines.
+
+Client → server messages (``type`` field):
+
+``submit``
+    ``{"type": "submit", "kind": "chaos", "params": {...}}`` — request a
+    campaign.  The server replies with ``accepted`` (carrying the
+    content-addressed job key) and then streams ``progress`` events
+    followed by one ``result`` or ``error``.
+``ping``
+    Liveness probe; the server replies ``pong``.
+``shutdown``
+    Ask the server to stop accepting work and exit cleanly.
+
+Server → client messages:
+
+``accepted``
+    ``{"type": "accepted", "job": key, "deduped": bool}`` — ``deduped``
+    is true when the submission matched work already in flight (the
+    pending-interest table) and the client was attached to the existing
+    job instead of recomputing.
+``progress``
+    ``{"type": "progress", "job": key, "done": n, "total": n,
+    "elapsed_s": t}`` — one per completed task chunk.
+``result``
+    ``{"type": "result", "job": key, "value": ..., "stats": {...}}`` —
+    the campaign's rows (dataclasses flattened by :func:`jsonable`) and
+    its :class:`~repro.runner.metrics.CampaignStats`.
+``error``
+    ``{"type": "error", "job": key, "message": str}``.
+
+Float fidelity: values are serialized with :func:`json.dumps`, whose
+shortest-round-trip float repr is exact — two bit-identical campaign
+results always encode to byte-identical ``value`` payloads, which is how
+the restart-resume smoke test asserts bit-identity across a kill.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, Optional
+
+from ..errors import ConfigurationError
+from ..runner import RESULT_CODE_VERSION, stable_token
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "CAMPAIGN_KINDS",
+    "ProtocolError",
+    "decode",
+    "encode",
+    "job_key",
+    "jsonable",
+    "normalize_request",
+]
+
+#: Bump on any incompatible change to the message shapes above.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ConfigurationError):
+    """A malformed or unsupported service message."""
+
+
+# Parameter schema per campaign kind: name -> (coercion, default).
+# ``normalize_request`` applies defaults and coercions so that two
+# requests meaning the same work always produce the same canonical
+# params dict — and therefore the same content-addressed job key.
+_SPECS: Dict[str, Dict[str, Any]] = {
+    "chaos": {
+        "trials": (int, 8),
+        "duration_s": (float, 6 * 3600.0),
+        "profile": (str, "mild"),
+        "base_seed": (int, 2008),
+    },
+    "fleet": {
+        "counts": (lambda v: [int(c) for c in v], [50, 100]),
+        "duration_s": (float, 300.0),
+        "base_seed": (int, 2008),
+        "engine": (str, "cohort"),
+    },
+    "topology": {
+        "kinds": (lambda v: None if v is None else [str(k) for k in v], None),
+        "duration_s": (float, 3600.0),
+    },
+    "steady": {
+        "durations_s": (lambda v: [float(d) for d in v], [3600.0]),
+        "fast_forward": (bool, True),
+    },
+}
+
+#: The campaign kinds the service accepts, sorted for reporting.
+CAMPAIGN_KINDS = tuple(sorted(_SPECS))
+
+
+def normalize_request(kind: str, params: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """Validate and canonicalize a submit request's parameters.
+
+    Unknown kinds and unknown parameter names raise
+    :class:`ProtocolError`; known parameters are coerced to their
+    canonical types and missing ones filled from defaults, so the
+    returned dict is a complete, canonical description of the work.
+    """
+    spec = _SPECS.get(kind)
+    if spec is None:
+        raise ProtocolError(
+            f"unknown campaign kind {kind!r}; expected one of {CAMPAIGN_KINDS}"
+        )
+    params = dict(params or {})
+    unknown = sorted(set(params) - set(spec))
+    if unknown:
+        raise ProtocolError(
+            f"unknown parameter(s) {unknown} for campaign kind {kind!r}"
+        )
+    normalized: Dict[str, Any] = {}
+    for name, (coerce, default) in spec.items():
+        value = params.get(name, default)
+        try:
+            normalized[name] = coerce(value)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(
+                f"bad value for {kind!r} parameter {name!r}: {exc}"
+            ) from exc
+    return normalized
+
+
+def job_key(kind: str, params: Dict[str, Any]) -> str:
+    """Content-addressed key for one campaign request.
+
+    Hashes the normalized ``(kind, params)`` pair together with
+    :data:`~repro.runner.store.RESULT_CODE_VERSION`, so requests for the
+    same work always dedupe and results from older task semantics never
+    alias newer ones.
+    """
+    return stable_token(
+        {"kind": kind, "params": params, "code": RESULT_CODE_VERSION}
+    )
+
+
+def jsonable(value: Any) -> Any:
+    """Flatten campaign results into JSON-encodable structures.
+
+    Dataclasses become dicts tagged with their class name under
+    ``"~type"``; tuples become lists.  Floats pass through untouched —
+    ``json.dumps`` round-trips them exactly.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        flat: Dict[str, Any] = {"~type": type(value).__name__}
+        for field in dataclasses.fields(value):
+            flat[field.name] = jsonable(getattr(value, field.name))
+        return flat
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    return value
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """One message, framed: compact JSON plus the terminating newline."""
+    return json.dumps(message, sort_keys=True).encode("utf-8") + b"\n"
+
+
+def decode(line: bytes) -> Dict[str, Any]:
+    """Parse one received line; raises :class:`ProtocolError` on junk."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable message: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError("messages must be JSON objects with a 'type'")
+    return message

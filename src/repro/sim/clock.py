@@ -70,6 +70,37 @@ class PeriodicTimer:
             self._handle.cancel()
             self._handle = None
 
+    def state_dict(self) -> dict:
+        """Checkpointable tick state (see :mod:`repro.sim.checkpoint`)."""
+        return {
+            "running": self.running,
+            "epoch": self._epoch,
+            "tick": self._tick,
+            "fired_count": self.fired_count,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Re-arm from :meth:`state_dict` output on a restored engine.
+
+        The engine's queue was cleared by
+        :meth:`~repro.sim.engine.Engine.reset_for_restore`, so any handle
+        this timer holds is already dead — it is dropped, not cancelled.
+        A running timer reschedules its pending tick at the drift-free
+        ``epoch + tick * period`` instant, which is bit-identical to the
+        time the dropped entry carried.
+        """
+        self._handle = None
+        self._epoch = float(state["epoch"])
+        self._tick = int(state["tick"])
+        self.fired_count = int(state["fired_count"])
+        if state["running"]:
+            self._handle = self._engine.schedule_at(
+                self._epoch + self._tick * self.period,
+                self._fire,
+                name=self.name,
+                priority=self._priority,
+            )
+
     def _fire(self) -> None:
         self.fired_count += 1
         self._tick += 1

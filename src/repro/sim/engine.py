@@ -64,6 +64,11 @@ class Engine:
         return self._events_fired
 
     @property
+    def sequence(self) -> int:
+        """Next scheduling sequence number (checkpoint bookkeeping)."""
+        return self._sequence
+
+    @property
     def pending_count(self) -> int:
         """Number of not-yet-cancelled events in the queue (O(1))."""
         return self._live
@@ -199,7 +204,12 @@ class Engine:
         event.callback()
         return True
 
-    def run_until(self, end_time: float, max_events: Optional[int] = None) -> None:
+    def run_until(
+        self,
+        end_time: float,
+        max_events: Optional[int] = None,
+        pause_hook: Optional[Callable[[], bool]] = None,
+    ) -> bool:
         """Run events in order until simulation time reaches ``end_time``.
 
         Events scheduled exactly at ``end_time`` *do* fire (closed
@@ -211,6 +221,14 @@ class Engine:
         ``max_events`` guards against runaway zero-delay loops: exactly
         ``max_events`` callbacks fire, and :class:`SimulationError` is
         raised only if another event remains due within the window.
+
+        ``pause_hook``, when given, is consulted after every fired event;
+        returning True pauses the run *at the current event time* (the
+        clock is NOT advanced to ``end_time``) and ``run_until`` returns
+        False.  Pausing only observes — the event stream up to the pause
+        is exactly the stream an unpaused run would have fired, which is
+        what makes checkpoints (:mod:`repro.sim.checkpoint`)
+        bit-identical.  Returns True when ``end_time`` was reached.
         """
         if end_time < self._now:
             raise SchedulingError(
@@ -232,9 +250,12 @@ class Engine:
                     )
                 self.step()
                 fired += 1
+                if pause_hook is not None and pause_hook():
+                    return False
             self._now = float(end_time)
         finally:
             self._running = False
+        return True
 
     def run_to_completion(self, max_events: int = 1_000_000) -> None:
         """Run until the event queue is empty.
@@ -264,6 +285,43 @@ class Engine:
         """
         live = sorted(e for e in self._heap if not e.cancelled)
         return tuple((e.time - self._now, e.priority, e.name) for e in live)
+
+    def pending_events(self) -> tuple:
+        """Absolute descriptors of every live event, in scheduling order.
+
+        A tuple of ``(sequence, time, priority, name)`` sorted by the
+        original scheduling sequence.  This is the checkpoint layer's
+        view of the queue: restore re-creates the pending events one by
+        one in this order, which reproduces the engine's same-instant
+        tie-breaking (time, then priority, then scheduling order)
+        exactly.
+        """
+        live = sorted(
+            (e for e in self._heap if not e.cancelled),
+            key=lambda e: e.sequence,
+        )
+        return tuple((e.sequence, e.time, e.priority, e.name) for e in live)
+
+    def reset_for_restore(
+        self, now: float, sequence: int, events_fired: int
+    ) -> None:
+        """Rewind a freshly built engine to a checkpointed clock state.
+
+        Drops every pending event (restore re-creates them through their
+        owners, in the checkpoint's scheduling order) and force-sets the
+        clock, the scheduling sequence, and the fired-event counter.
+        Only :mod:`repro.sim.checkpoint` should call this; on a live
+        engine it would strand component callbacks.
+        """
+        if self._running:
+            raise SimulationError("cannot restore into a running engine")
+        if now < 0.0 or sequence < 0 or events_fired < 0:
+            raise SimulationError("checkpointed engine state is negative")
+        self._heap.clear()
+        self._live = 0
+        self._now = float(now)
+        self._sequence = int(sequence)
+        self._events_fired = int(events_fired)
 
     # -- internals ---------------------------------------------------------
 

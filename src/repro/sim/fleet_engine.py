@@ -218,6 +218,8 @@ def run_fleet(
     scenario: FleetScenario,
     engine: str = "cohort",
     cohort_size: Optional[int] = None,
+    store=None,
+    checkpoint_every: Optional[int] = None,
 ) -> FleetRun:
     """Simulate a fleet scenario on the requested engine.
 
@@ -226,6 +228,14 @@ def run_fleet(
     chain; results are bit-identical to ``engine="per-node"`` for any
     partitioning.  If the scenario is ineligible for the fast path, the
     whole run transparently falls back to per-node stepping.
+
+    With a :class:`~repro.runner.store.ResultStore` in ``store``, each
+    cohort's result is persisted as it completes, keyed on its exact
+    spec — a killed run restarted with the same arguments replays only
+    the cohorts that never finished, and (by the partitioning-invariance
+    contract) the merged result is bit-identical either way.
+    ``checkpoint_every`` sets the durability granularity in *nodes per
+    cohort* when ``cohort_size`` is not given explicitly.
     """
     if engine not in ("cohort", "per-node"):
         raise ConfigurationError(
@@ -233,10 +243,14 @@ def run_fleet(
         )
     if cohort_size is not None and cohort_size < 1:
         raise ConfigurationError("cohort_size must be positive")
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ConfigurationError("checkpoint_every must be positive")
+    if cohort_size is None and checkpoint_every is not None:
+        cohort_size = checkpoint_every
     offsets = scenario_offsets(scenario)
     if engine == "cohort":
         try:
-            return _run_cohorts(scenario, offsets, cohort_size)
+            return _run_cohorts(scenario, offsets, cohort_size, store)
         except CohortFallback as exc:
             return _run_per_node(scenario, offsets, fallback=str(exc))
     return _run_per_node(scenario, offsets)
@@ -246,6 +260,7 @@ def _run_cohorts(
     scenario: FleetScenario,
     offsets: List[float],
     cohort_size: Optional[int],
+    store=None,
 ) -> FleetRun:
     if scenario.harvest is not None:
         raise CohortFallback(
@@ -269,7 +284,11 @@ def _run_cohorts(
             ),
             loss_factors=scenario.lane_slice("loss_factors", lo, hi),
         )
-        run = advance_cohort(spec)
+        if store is not None:
+            key = store.key(("fleet-cohort", spec))
+            run = store.get_or_compute(key, lambda s=spec: advance_cohort(s))
+        else:
+            run = advance_cohort(spec)
         cohorts.append(run)
         records.extend(run.records)
     # Cohorts are contiguous slices, so concatenation is already in node

@@ -40,6 +40,15 @@ class PowerRecorder:
         """True if ``name`` has been recorded to."""
         return name in self._channels
 
+    def restore_channels(self, traces: Dict[str, StepTrace]) -> None:
+        """Replace the channel set wholesale (checkpoint restore).
+
+        Existing channels are dropped; the recorder adopts ``traces`` as
+        its complete history.  Only :mod:`repro.sim.checkpoint` should
+        call this — on a live recorder it rewrites the measured past.
+        """
+        self._channels = dict(traces)
+
     # -- recording -------------------------------------------------------------
 
     def record(self, name: str, watts: float) -> None:

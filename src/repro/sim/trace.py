@@ -261,6 +261,45 @@ class StepTrace:
         self._blocks.append(block)
         self._frontier = block.end
 
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Full internal state, for :mod:`repro.sim.checkpoint`.
+
+        Every float round-trips losslessly (the checkpoint layer encodes
+        them as hex), so a restored trace records, compacts, and
+        integrates bit-identically to the original from the restore
+        point on.
+        """
+        return {
+            "name": self.name,
+            "times": list(self._times),
+            "values": list(self._values),
+            "blocks": [
+                [b.t0, b.span, b.count, list(b.times), list(b.values),
+                 b.anchor]
+                for b in self._blocks
+            ],
+            "frontier": self._frontier,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "StepTrace":
+        """Rebuild a trace from :meth:`state_dict` output."""
+        trace = cls(name=state["name"])
+        trace._times = [float(t) for t in state["times"]]
+        trace._values = [float(v) for v in state["values"]]
+        trace._blocks = [
+            _PeriodicBlock(
+                float(t0), float(span), int(count),
+                tuple(float(t) for t in times),
+                tuple(float(v) for v in values), int(anchor),
+            )
+            for t0, span, count, times, values, anchor in state["blocks"]
+        ]
+        trace._frontier = float(state["frontier"])
+        return trace
+
     # -- queries -----------------------------------------------------------
 
     @property

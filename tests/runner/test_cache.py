@@ -149,3 +149,93 @@ def test_memoize_with_maxsize_and_kwargs():
     assert f(1, scale=3) == 3  # distinct key from f(1)
     assert f(1) == 1
     assert len(f.cache) == 2
+
+
+def test_memoize_normalizes_call_spellings():
+    """f(1, 2), f(1, b=2), f(a=1, b=2), and default-filled calls share
+    one cache entry — the key is built from bound arguments, not the
+    raw (args, kwargs) spelling."""
+    calls = []
+
+    @memoize
+    def f(a, b=2):
+        calls.append((a, b))
+        return a + b
+
+    assert f(1, 2) == 3
+    assert f(1, b=2) == 3
+    assert f(a=1, b=2) == 3
+    assert f(1) == 3  # default fills in b=2
+    assert calls == [(1, 2)]
+    assert f.cache.stats.hits == 3
+
+
+def test_memoize_flattens_var_keyword_arguments():
+    calls = []
+
+    @memoize
+    def f(a, **extras):
+        calls.append(a)
+        return (a, tuple(sorted(extras)))
+
+    assert f(1, x=2, y=3) == (1, ("x", "y"))
+    assert f(1, y=3, x=2) == (1, ("x", "y"))  # order-independent key
+    assert calls == [1]
+
+
+def test_threaded_lru_stress_respects_maxsize():
+    """Hammer one small LRU cache from many threads; the bound must
+    hold at every instant and the cache must stay coherent."""
+    cache = MemoCache(maxsize=8)
+    errors = []
+    barrier = threading.Barrier(6)
+
+    def worker(worker_id):
+        barrier.wait()
+        for i in range(400):
+            key = (worker_id * 7 + i) % 24
+            value = cache.get_or_compute(key, lambda k=key: k * 2)
+            if value != key * 2:
+                errors.append((key, value))
+            if len(cache) > 8:
+                errors.append(("overflow", len(cache)))
+
+    threads = [threading.Thread(target=worker, args=(n,)) for n in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    assert len(cache) <= 8
+    stats = cache.stats
+    assert stats.hits + stats.misses == 6 * 400
+
+
+def test_duplicate_compute_bound_without_eviction():
+    """With no eviction pressure, each key is computed at most once no
+    matter how many threads race for it (the per-key in-flight guard)."""
+    cache = MemoCache()
+    compute_counts = {}
+    count_lock = threading.Lock()
+    barrier = threading.Barrier(8)
+
+    def compute(key):
+        with count_lock:
+            compute_counts[key] = compute_counts.get(key, 0) + 1
+        return key * 10
+
+    def worker():
+        barrier.wait()
+        for key in range(16):
+            assert cache.get_or_compute(key, lambda k=key: compute(k)) == key * 10
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    # Every key computed at least once, and never more than the number
+    # of racing threads (no unbounded recompute storms); with the
+    # cache's lock-held compute this is exactly once.
+    assert set(compute_counts) == set(range(16))
+    assert all(count == 1 for count in compute_counts.values())

@@ -1,0 +1,77 @@
+"""Protocol unit tests: framing, normalization, content-addressed keys."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.service import (
+    CAMPAIGN_KINDS,
+    ProtocolError,
+    decode,
+    encode,
+    job_key,
+    jsonable,
+    normalize_request,
+)
+
+
+def test_encode_decode_round_trip():
+    message = {"type": "submit", "kind": "chaos", "params": {"trials": 2}}
+    framed = encode(message)
+    assert framed.endswith(b"\n")
+    assert decode(framed) == message
+
+
+def test_decode_rejects_junk():
+    with pytest.raises(ProtocolError):
+        decode(b"not json\n")
+    with pytest.raises(ProtocolError):
+        decode(b"[1, 2, 3]\n")  # no type field
+    with pytest.raises(ProtocolError):
+        decode(b'{"kind": "chaos"}\n')  # object but untyped
+
+
+def test_campaign_kinds_catalogue():
+    assert set(CAMPAIGN_KINDS) == {"chaos", "fleet", "topology", "steady"}
+
+
+def test_normalize_fills_defaults_and_coerces():
+    params = normalize_request("chaos", {"trials": "4"})
+    assert params["trials"] == 4
+    assert params["profile"] == "mild"
+    assert params["duration_s"] == 6 * 3600.0
+    fleet = normalize_request("fleet", {"counts": (10, 20)})
+    assert fleet["counts"] == [10, 20]
+    assert fleet["engine"] == "cohort"
+
+
+def test_normalize_rejects_unknown_kind_and_params():
+    with pytest.raises(ProtocolError):
+        normalize_request("nonsense", {})
+    with pytest.raises(ProtocolError):
+        normalize_request("chaos", {"trials": 2, "bogus": 1})
+    with pytest.raises(ProtocolError):
+        normalize_request("chaos", {"trials": "not-a-number"})
+
+
+def test_job_key_is_spelling_independent():
+    a = job_key("chaos", normalize_request("chaos", {"trials": 4}))
+    b = job_key("chaos", normalize_request(
+        "chaos", {"trials": "4", "profile": "mild"}
+    ))
+    assert a == b
+    c = job_key("chaos", normalize_request("chaos", {"trials": 5}))
+    assert a != c
+
+
+def test_jsonable_flattens_dataclasses_and_tuples():
+    @dataclasses.dataclass(frozen=True)
+    class Row:
+        kind: str
+        power_w: float
+
+    flat = jsonable([(1, Row("cots", 6e-6))])
+    assert flat == [[1, {"~type": "Row", "kind": "cots", "power_w": 6e-6}]]
+    # json round-trip preserves the float bit pattern exactly.
+    assert json.loads(json.dumps(flat))[0][1]["power_w"] == 6e-6

@@ -46,6 +46,7 @@ DEFAULT_TARGETS = [
     "benchmarks/test_e29_year_scale.py",
     "benchmarks/test_train_solve_throughput.py",
     "benchmarks/test_fleet_cohort_throughput.py",
+    "benchmarks/test_checkpoint_store_throughput.py",
 ]
 
 

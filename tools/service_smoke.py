@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Kill-restart smoke drill for ``python -m repro serve``.
+
+The CI ``service-smoke`` job runs this script.  It exercises the full
+durability story with a real process and a real SIGKILL:
+
+1. start the service with a private cache root;
+2. submit a fleet campaign and stream progress from it;
+3. SIGKILL the server mid-campaign (no atexit, no cleanup);
+4. restart the service — it must pick the journaled job back up;
+5. resubmit and assert the streamed result is **byte-identical** to the
+   same campaign computed directly in-process (the bit-identity bar),
+   and that the journal was cleaned up after completion.
+
+Exit status 0 on success; any failure raises and exits non-zero.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+sys.path.insert(0, SRC)
+
+from repro import campaigns  # noqa: E402
+from repro.service import ServiceClient, jsonable  # noqa: E402
+
+FLEET_REQUEST = {
+    "counts": [40, 80],
+    "duration_s": 300.0,
+    "engine": "per-node",
+}
+
+
+def start_server(cache_dir: str) -> "tuple[subprocess.Popen, str, int]":
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--port", "0", "--workers", "2",
+         "--cache-dir", cache_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env, cwd=REPO_ROOT,
+    )
+    banner = process.stdout.readline()
+    match = re.search(r"listening on ([\d.]+):(\d+)", banner)
+    if not match:
+        process.kill()
+        raise SystemExit(f"no listening banner, got: {banner!r}")
+    return process, match.group(1), int(match.group(2))
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as cache:
+        # Phase 1: start, submit, stream, SIGKILL mid-run.
+        server, host, port = start_server(cache)
+        try:
+            client = ServiceClient(host, port)
+            accepted = client.submit("fleet", FLEET_REQUEST)
+            assert accepted["type"] == "accepted", accepted
+            job = accepted["job"]
+            first = next(client.events(job))
+            print(f"streamed first event: {first['type']} "
+                  f"({first.get('done', '?')}/{first.get('total', '?')})")
+        finally:
+            os.kill(server.pid, signal.SIGKILL)
+            server.wait()
+        print("server SIGKILLed mid-campaign")
+
+        journal = os.path.join(cache, "jobs", f"job-{job}.json")
+        assert os.path.exists(journal), "kill left no journal to resume from"
+
+        # The ground truth, computed directly (no service, no store).
+        values, _ = campaigns.fleet_density_campaign(
+            workers=2, **{k: v for k, v in FLEET_REQUEST.items()}
+        )
+        expected = json.dumps(jsonable(values), sort_keys=True)
+
+        # Phase 2: restart, let the journal resume, resubmit, compare.
+        server, host, port = start_server(cache)
+        try:
+            with ServiceClient(host, port) as client:
+                accepted = client.submit("fleet", FLEET_REQUEST)
+                assert accepted["type"] == "accepted", accepted
+                final = None
+                progressed = 0
+                for event in client.events(accepted["job"]):
+                    if event["type"] == "progress":
+                        progressed += 1
+                    final = event
+            assert final["type"] == "result", final
+            got = json.dumps(final["value"], sort_keys=True)
+            assert got == expected, "resumed result is not bit-identical"
+            print(f"resumed result bit-identical "
+                  f"({progressed} progress events replayed/streamed)")
+            deadline = time.time() + 30.0
+            while os.path.exists(journal) and time.time() < deadline:
+                time.sleep(0.2)
+            assert not os.path.exists(journal), "journal not cleaned up"
+            with ServiceClient(host, port) as client:
+                client.shutdown()
+            server.wait(timeout=60)
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait()
+    print("service smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
